@@ -1,0 +1,98 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables/figures at reduced
+scale (pure-Python constant; see DESIGN.md Section 3.4). Result rows are
+printed and appended to ``benchmarks/results/<experiment>.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the paper-style series
+on disk; EXPERIMENTS.md summarizes paper-shape vs. measured-shape.
+
+Dataset construction is cached per (kind, size, theta) so sweeps reuse
+collections instead of regenerating them inside timed regions.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import dblp_like_collection, protein_like_collection
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Base collection size for most figures (the paper uses 100K; the
+#: pure-Python reproduction keeps every *relative* comparison).
+BASE_SIZE = 300
+
+
+#: World counts are gamma^u; the paper's verification cap of 8 uncertain
+#: positions (5^8 ~ 390K worlds) is affordable in C++ but not per-pair in
+#: pure Python, so high-theta sweeps cap at 6 (5^6 ~ 15K worlds). The
+#: relative shapes (growth with theta, trie vs. naive gap) are preserved.
+SWEEP_UNCERTAIN_CAP = 6
+
+
+@functools.lru_cache(maxsize=32)
+def dblp(size: int = BASE_SIZE, theta: float = 0.2, cap: int = 8):
+    """Cached dblp-like collection (paper defaults: k=2, tau=0.1, q=3)."""
+    return dblp_like_collection(
+        size, theta=theta, rng=1234, max_uncertain_positions=cap
+    )
+
+
+@functools.lru_cache(maxsize=32)
+def protein(size: int = BASE_SIZE, theta: float = 0.1, cap: int = 8):
+    """Cached protein-like collection (paper defaults: k=4, tau=0.01)."""
+    return protein_like_collection(
+        size, theta=theta, rng=5678, max_uncertain_positions=cap
+    )
+
+
+class ExperimentLog:
+    """Accumulates rows for one experiment file.
+
+    The file is truncated when the log is created (once per module), so
+    re-running a subset of benchmarks refreshes exactly those experiments
+    and leaves the others' results on disk.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.path = RESULTS_DIR / f"{name}.txt"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        self.path.unlink(missing_ok=True)
+
+    def header(self, text: str) -> None:
+        self._write(f"# {text}")
+
+    def row(self, **fields) -> None:
+        parts = []
+        for key, value in fields.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.4g}")
+            else:
+                parts.append(f"{key}={value}")
+        self._write("  ".join(parts))
+
+    def _write(self, line: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        print(f"[{self.name}] {line}")
+
+
+@pytest.fixture(scope="module")
+def experiment_log(request):
+    """One log per benchmark module, named after the experiment."""
+    name = request.module.EXPERIMENT
+    return ExperimentLog(name)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Join benchmarks are seconds-long; statistical repetition would make
+    the suite take hours for no extra insight.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

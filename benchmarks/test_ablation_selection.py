@@ -1,0 +1,41 @@
+"""Ablation A: position-aware substring selection modes.
+
+Compares the paper's stated shift window, Pass-Join's multi-match-aware
+intersection, and the loose symmetric window Table 1 uses. All three are
+complete (the join output is identical — asserted); tighter windows mean
+fewer index probes and fewer surviving candidates.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+
+from benchmarks.conftest import dblp, run_once
+
+EXPERIMENT = "ablation_selection"
+
+MODES = ("shift", "multimatch", "window")
+SIZE = 250
+
+_results = {}
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_selection_mode(benchmark, experiment_log, mode):
+    collection = dblp(SIZE)
+    config = JoinConfig(k=2, tau=0.1, selection=mode)
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+
+    stats = outcome.stats
+    _results[mode] = outcome.id_pairs()
+    if len(_results) == len(MODES):
+        assert len({frozenset(pairs) for pairs in _results.values()}) == 1
+    experiment_log.row(
+        mode=mode,
+        results=stats.result_pairs,
+        qgram_survivors=stats.qgram_survivors,
+        qgram_seconds=stats.seconds("qgram") + stats.seconds("index"),
+        total_seconds=stats.total_seconds,
+    )

@@ -1,0 +1,87 @@
+"""Section 7.9: qualitative comparison with the EED join of Jestes et al.
+
+Three claims are measured:
+
+1. *Index size* — disjoint segments keep the index around ~2x the data
+   size, against ~5x for overlapping q-grams ([10]'s scheme).
+2. *Candidate evaluations* — QFCT's index prunes before the expensive
+   filters; the EED baseline evaluates every length-eligible pair.
+3. *Verification* — trie-based verification shares work across worlds;
+   exact EED must touch every world pair.
+"""
+
+import pytest
+
+from repro.baselines.eed_join import eed_join
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+from repro.index.inverted import SegmentInvertedIndex
+from repro.uncertain.worlds import enumerate_worlds
+
+from benchmarks.conftest import dblp, run_once
+
+EXPERIMENT = "eed_comparison"
+
+SIZE = 150
+K = 2
+TAU = 0.1
+
+
+def overlapping_qgram_entries(collection, q=3):
+    """Index entries under [10]'s overlapping q-gram scheme."""
+    total = 0
+    for string in collection:
+        for start in range(len(string) - q + 1):
+            window = string.substring(start, q)
+            total += sum(1 for _ in enumerate_worlds(window, limit=None))
+    return total
+
+
+def test_index_size_disjoint_vs_overlapping(benchmark, experiment_log):
+    collection = dblp(SIZE)
+    data_size = sum(len(s) for s in collection)
+
+    def build():
+        index = SegmentInvertedIndex(k=K, q=3)
+        for string_id, string in enumerate(
+            sorted(collection, key=lambda s: (len(s), id(s)))
+        ):
+            index.add(string_id, string)
+        return index
+
+    index = run_once(benchmark, build)
+    overlapping = overlapping_qgram_entries(collection)
+    assert index.entry_count < overlapping
+    experiment_log.row(
+        data_chars=data_size,
+        disjoint_entries=index.entry_count,
+        overlapping_entries=overlapping,
+        disjoint_ratio=index.entry_count / data_size,
+        overlapping_ratio=overlapping / data_size,
+    )
+
+
+def test_join_vs_eed_baseline(benchmark, experiment_log):
+    collection = dblp(SIZE)
+    config = JoinConfig(k=K, tau=TAU)
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+    eed_outcome = eed_join(collection, float(K))
+
+    stats = outcome.stats
+    eligible_pairs = (
+        eed_outcome.candidate_evaluations
+        + eed_outcome.pruned_by_frequency
+    )
+    experiment_log.row(
+        ktau_pairs=stats.result_pairs,
+        ktau_expensive_filter_calls=stats.frequency_checked,
+        ktau_verifications=stats.verifications,
+        eed_pairs=len(eed_outcome.pairs),
+        eed_length_eligible=eligible_pairs,
+        eed_exact_evaluations=eed_outcome.exact_evaluations,
+        eed_world_pairs=eed_outcome.world_pairs_compared,
+    )
+    # QFCT's indexed pruning must touch fewer pairs with expensive filters
+    # than the pairwise EED baseline evaluates.
+    assert stats.frequency_checked <= eligible_pairs

@@ -1,0 +1,46 @@
+"""Figure 2: effectiveness vs. efficiency of the three filters.
+
+For both datasets at their default parameters, reports per filter the
+number of surviving candidates (effectiveness) and the time spent
+applying it (efficiency). Expected shape (Section 7.1): CDF tightest but
+slowest; q-gram fastest thanks to the index, close to CDF on protein;
+frequency in between, cheaper on protein (smaller alphabet/uncertainty).
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+
+from benchmarks.conftest import BASE_SIZE, dblp, protein, run_once
+
+EXPERIMENT = "fig2_pruning"
+
+SETTINGS = {
+    "dblp": dict(collection=lambda: dblp(BASE_SIZE), k=2, tau=0.1),
+    "protein": dict(collection=lambda: protein(BASE_SIZE), k=4, tau=0.01),
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(SETTINGS))
+def test_fig2_filter_breakdown(benchmark, experiment_log, dataset):
+    setting = SETTINGS[dataset]
+    collection = setting["collection"]()
+    config = JoinConfig(k=setting["k"], tau=setting["tau"])
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+
+    stats = outcome.stats
+    assert stats.qgram_survivors >= stats.frequency_survivors
+    experiment_log.row(
+        dataset=dataset,
+        length_eligible=stats.length_eligible_pairs,
+        after_qgram=stats.qgram_survivors,
+        after_frequency=stats.frequency_survivors,
+        after_cdf=stats.cdf_undecided + stats.cdf_accepted,
+        results=stats.result_pairs,
+        qgram_seconds=stats.seconds("qgram") + stats.seconds("index"),
+        frequency_seconds=stats.seconds("frequency"),
+        cdf_seconds=stats.seconds("cdf"),
+        verify_seconds=stats.verification_seconds,
+    )

@@ -1,0 +1,41 @@
+"""Figure 3: scalability in the collection size |S| (dblp).
+
+The paper sweeps 50K-500K strings; we sweep a 10x range at reduced scale.
+Expected shape (Section 7.2): FCT's filtering grows ~quadratically (it
+compares R against every length-eligible string); the q-gram variants
+grow much more slowly; QFCT/QCT stay fastest overall, QFT deteriorates
+through extra verifications.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+
+from benchmarks.conftest import dblp, run_once
+
+EXPERIMENT = "fig3_data_size"
+
+SIZES = (100, 200, 400, 800)
+ALGORITHMS = ("QFCT", "QCT", "QFT", "FCT")
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig3_scaling(benchmark, experiment_log, algorithm, size):
+    collection = dblp(size)
+    config = JoinConfig.for_algorithm(algorithm, k=2, tau=0.1)
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+
+    stats = outcome.stats
+    experiment_log.row(
+        algorithm=algorithm,
+        size=size,
+        results=stats.result_pairs,
+        filter_seconds=stats.filtering_seconds,
+        verify_seconds=stats.verification_seconds,
+        total_seconds=stats.total_seconds,
+        verifications=stats.verifications,
+        false_candidates=stats.false_candidates,
+    )

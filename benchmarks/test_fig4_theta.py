@@ -1,0 +1,49 @@
+"""Figure 4: effect of the uncertainty fraction theta.
+
+Expected shape (Section 7.3): query time grows with theta for both QFCT
+and FCT (larger q(r, x) sets, pricier expectations and CDF cells, and
+exponentially pricier verification); QFCT stays below FCT on dblp, while
+FCT is comparatively better on protein data.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+
+from benchmarks.conftest import BASE_SIZE, SWEEP_UNCERTAIN_CAP, dblp, protein, run_once
+
+EXPERIMENT = "fig4_theta"
+
+SWEEP = {
+    "dblp": dict(thetas=(0.1, 0.2, 0.3, 0.4), k=2, tau=0.1, data=dblp),
+    "protein": dict(thetas=(0.05, 0.1, 0.15, 0.2), k=4, tau=0.01, data=protein),
+}
+ALGORITHMS = ("QFCT", "FCT")
+
+
+def cases():
+    for dataset, setting in sorted(SWEEP.items()):
+        for theta in setting["thetas"]:
+            for algorithm in ALGORITHMS:
+                yield dataset, theta, algorithm
+
+
+@pytest.mark.parametrize("dataset,theta,algorithm", list(cases()))
+def test_fig4_theta(benchmark, experiment_log, dataset, theta, algorithm):
+    setting = SWEEP[dataset]
+    collection = setting["data"](BASE_SIZE, theta, SWEEP_UNCERTAIN_CAP)
+    config = JoinConfig.for_algorithm(algorithm, k=setting["k"], tau=setting["tau"])
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+
+    stats = outcome.stats
+    experiment_log.row(
+        dataset=dataset,
+        algorithm=algorithm,
+        theta=theta,
+        results=stats.result_pairs,
+        filter_seconds=stats.filtering_seconds,
+        verify_seconds=stats.verification_seconds,
+        total_seconds=stats.total_seconds,
+    )

@@ -1,0 +1,37 @@
+"""Figure 5: effect of the probability threshold tau.
+
+Expected shape (Section 7.4): as tau grows, the CDF *upper*-bound filter
+rejects more and the *lower*-bound accept path loses effectiveness; the
+q-gram probabilistic pruning (Theorem 2) removes more candidates before
+CDF, and for large tau the query time improves with the shrinking output.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+
+from benchmarks.conftest import BASE_SIZE, dblp, run_once
+
+EXPERIMENT = "fig5_tau"
+
+TAUS = (0.001, 0.01, 0.1, 0.2, 0.4)
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_fig5_tau(benchmark, experiment_log, tau):
+    collection = dblp(BASE_SIZE)
+    config = JoinConfig(k=2, tau=tau)
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+
+    stats = outcome.stats
+    experiment_log.row(
+        tau=tau,
+        results=stats.result_pairs,
+        qgram_rejected=stats.qgram_rejected,
+        cdf_accepted=stats.cdf_accepted,
+        cdf_rejected=stats.cdf_rejected,
+        verifications=stats.verifications,
+        total_seconds=stats.total_seconds,
+    )

@@ -1,0 +1,50 @@
+"""Figure 6: effect of the edit-distance threshold k.
+
+Expected shape (Section 7.5): query time grows with k for both QFCT and
+FCT — Lemma 5's requirement m - k weakens, more false candidates reach
+the expensive stages — but QFCT still saves a sizable fraction of FCT's
+cost at the largest k.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+
+from benchmarks.conftest import dblp, protein, run_once
+
+EXPERIMENT = "fig6_k"
+
+SWEEP = {
+    "dblp": dict(ks=(1, 2, 3, 4), tau=0.1, data=dblp, size=300),
+    "protein": dict(ks=(2, 4, 6, 8), tau=0.01, data=protein, size=200),
+}
+ALGORITHMS = ("QFCT", "FCT")
+
+
+def cases():
+    for dataset, setting in sorted(SWEEP.items()):
+        for k in setting["ks"]:
+            for algorithm in ALGORITHMS:
+                yield dataset, k, algorithm
+
+
+@pytest.mark.parametrize("dataset,k,algorithm", list(cases()))
+def test_fig6_k(benchmark, experiment_log, dataset, k, algorithm):
+    setting = SWEEP[dataset]
+    collection = setting["data"](setting["size"])
+    config = JoinConfig.for_algorithm(algorithm, k=k, tau=setting["tau"])
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+
+    stats = outcome.stats
+    experiment_log.row(
+        dataset=dataset,
+        algorithm=algorithm,
+        k=k,
+        results=stats.result_pairs,
+        filter_seconds=stats.filtering_seconds,
+        verify_seconds=stats.verification_seconds,
+        total_seconds=stats.total_seconds,
+        verifications=stats.verifications,
+    )

@@ -1,0 +1,45 @@
+"""Figure 7: effect of the segment length q on the q-gram filter.
+
+Expected shape (Section 7.6): larger q means fewer segments (cheaper
+merging) but exponentially more segment instances — index size grows,
+filter effectiveness diminishes, and total query time is uni-valley with
+the sweet spot around q = 3..4.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+from repro.index.inverted import SegmentInvertedIndex
+
+from benchmarks.conftest import BASE_SIZE, dblp, run_once
+
+EXPERIMENT = "fig7_q"
+
+QS = (2, 3, 4, 5, 6)
+
+
+@pytest.mark.parametrize("q", QS)
+def test_fig7_join_vs_q(benchmark, experiment_log, q):
+    collection = dblp(BASE_SIZE)
+    config = JoinConfig(k=2, tau=0.1, q=q)
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+
+    # Rebuild the full index to report its size (the join's internal index
+    # is per-run state).
+    index = SegmentInvertedIndex(k=2, q=q)
+    for string_id, string in enumerate(
+        sorted(collection, key=lambda s: (len(s), id(s)))
+    ):
+        index.add(string_id, string)
+
+    stats = outcome.stats
+    experiment_log.row(
+        q=q,
+        results=stats.result_pairs,
+        qgram_survivors=stats.qgram_survivors,
+        index_entries=index.entry_count,
+        qgram_seconds=stats.seconds("qgram") + stats.seconds("index"),
+        total_seconds=stats.total_seconds,
+    )

@@ -1,0 +1,46 @@
+"""Figure 8: trie-based vs. naive verification under growing theta.
+
+The QFT stack (no CDF bounds) routes every surviving candidate into
+verification, isolating the verifier the way the paper's Figure 8 does.
+Expected shape (Section 7.7): both verifiers get exponentially more
+expensive with theta, with the trie increasingly ahead of naive all-pairs
+comparison on dblp; gains are smaller on protein-style data.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+
+from benchmarks.conftest import dblp, run_once
+
+EXPERIMENT = "fig8_verification"
+
+THETAS = (0.1, 0.2, 0.3)
+VERIFIERS = ("trie", "naive")
+
+#: Naive verification is quadratic in world counts; cap at 4 uncertain
+#: positions (5^4 = 625 worlds, ~400K world pairs per candidate) so the
+#: naive arm terminates while the trie-vs-naive gap stays visible.
+FIG8_CAP = 4
+
+
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("verifier", VERIFIERS)
+def test_fig8_verifier(benchmark, experiment_log, verifier, theta):
+    collection = dblp(100, theta, FIG8_CAP)
+    config = JoinConfig.for_algorithm(
+        "QFT", k=2, tau=0.1, verification=verifier
+    )
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+
+    stats = outcome.stats
+    experiment_log.row(
+        verifier=verifier,
+        theta=theta,
+        results=stats.result_pairs,
+        verifications=stats.verifications,
+        verify_seconds=stats.verification_seconds,
+        total_seconds=stats.total_seconds,
+    )

@@ -1,0 +1,64 @@
+"""Figure 9: effect of string length.
+
+Following Section 7.8, each uncertain string is appended to itself 0-3
+times with the number of uncertain characters capped at 8 (so the world
+count stays fixed while length grows). Expected shape: both QFCT and FCT
+slow down with length; frequency filtering is length-insensitive, letting
+FCT close part of the gap; verification increasingly dominates.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+from repro.uncertain.position import UncertainPosition
+from repro.uncertain.string import UncertainString
+
+from benchmarks.conftest import dblp, run_once
+
+EXPERIMENT = "fig9_string_length"
+
+REPEATS = (1, 2, 3, 4)  # total copies of each string
+ALGORITHMS = ("QFCT", "FCT")
+#: The paper caps at 8 probabilistic characters; pure-Python verification
+#: needs 6 (see conftest.SWEEP_UNCERTAIN_CAP rationale).
+MAX_UNCERTAIN = 6
+
+
+def self_append(string: UncertainString, copies: int) -> UncertainString:
+    """Concatenate ``copies`` copies, keeping <= MAX_UNCERTAIN pdfs."""
+    repeated = string
+    for _ in range(copies - 1):
+        repeated = repeated + string
+    kept = 0
+    positions = []
+    for pos in repeated:
+        if pos.is_certain:
+            positions.append(pos)
+        elif kept < MAX_UNCERTAIN:
+            positions.append(pos)
+            kept += 1
+        else:
+            positions.append(UncertainPosition.certain(pos.top))
+    return UncertainString(positions)
+
+
+@pytest.mark.parametrize("copies", REPEATS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig9_length(benchmark, experiment_log, algorithm, copies):
+    collection = [self_append(s, copies) for s in dblp(150)]
+    mean_length = sum(len(s) for s in collection) / len(collection)
+    config = JoinConfig.for_algorithm(algorithm, k=2, tau=0.1)
+
+    outcome = run_once(benchmark, lambda: similarity_join(collection, config))
+
+    stats = outcome.stats
+    experiment_log.row(
+        algorithm=algorithm,
+        copies=copies,
+        mean_length=mean_length,
+        results=stats.result_pairs,
+        filter_seconds=stats.filtering_seconds,
+        verify_seconds=stats.verification_seconds,
+        total_seconds=stats.total_seconds,
+    )

@@ -1,0 +1,52 @@
+"""Similarity-search latency (supplementary; not a paper figure).
+
+The paper notes its indexes also answer search queries (end of §7.6).
+This bench measures per-query latency against collection size for the
+full QFCT stack, confirming that query cost stays sublinear in |S|
+thanks to the inverted segment index.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.search import SimilaritySearcher
+from repro.datasets.uncertainty import inject_uncertainty, random_edit
+from repro.uncertain.alphabet import LOWERCASE27
+from repro.util.rng import ensure_rng
+
+from benchmarks.conftest import dblp, run_once
+
+EXPERIMENT = "search_latency"
+
+SIZES = (100, 400, 800)
+QUERIES = 10
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_search_latency(benchmark, experiment_log, size):
+    collection = dblp(size)
+    config = JoinConfig(k=2, tau=0.1)
+    searcher = SimilaritySearcher(collection, config)
+
+    rng = ensure_rng(99)
+    queries = []
+    for _ in range(QUERIES):
+        base = collection[rng.randrange(len(collection))]
+        text = base.most_probable_instance()[0]
+        text = random_edit(text, LOWERCASE27, rng)
+        queries.append(inject_uncertainty(text, 0.15, 4, LOWERCASE27, rng))
+
+    def run_all():
+        return [searcher.search(query) for query in queries]
+
+    outcomes = run_once(benchmark, run_all)
+
+    total_hits = sum(len(o.matches) for o in outcomes)
+    total_seconds = sum(o.stats.total_seconds for o in outcomes)
+    experiment_log.row(
+        collection_size=size,
+        queries=QUERIES,
+        hits=total_hits,
+        mean_query_ms=total_seconds / QUERIES * 1000,
+        mean_candidates=sum(o.stats.qgram_survivors for o in outcomes) / QUERIES,
+    )

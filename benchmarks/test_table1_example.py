@@ -1,0 +1,52 @@
+"""Table 1: the worked q-gram filtering example (m=3, q=2, k=1, tau=0.25).
+
+Regenerates the table's alpha values and accept/reject outcomes for the
+four uncertain strings against r = GGATCC and asserts the paper's
+narrative: S1 and S2 fail the count requirement, S3 is pruned by the
+probabilistic bound (0.2 < tau), S4 survives with bound 0.4.
+"""
+
+import pytest
+
+from repro.filters.qgram import QGramFilter
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+
+from benchmarks.conftest import run_once
+
+EXPERIMENT = "table1"
+
+R = UncertainString.from_text("GGATCC")
+STRINGS = {
+    "S1": parse_uncertain("A{(C,0.5),(G,0.5)}A{(C,0.5),(G,0.5)}AC"),
+    "S2": parse_uncertain("AA{(G,0.9),(T,0.1)}G{(C,0.3),(G,0.2),(T,0.5)}C"),
+    "S3": parse_uncertain("G{(A,0.8),(G,0.2)}CT{(A,0.8),(C,0.1),(T,0.1)}C"),
+    "S4": parse_uncertain("{(G,0.8),(T,0.2)}GA{(C,0.3),(G,0.2),(T,0.5)}CT"),
+}
+TAU = 0.25
+EXPECTED = {
+    "S1": {"alphas": (0.0, 0.0, 0.0), "candidate": False},
+    "S2": {"alphas": (0.0, 0.0, 0.8), "candidate": False},
+    "S3": {"alphas": (1.0, 0.0, 0.2), "candidate": False},
+    "S4": {"alphas": (0.8, 0.5, 0.0), "candidate": True},
+}
+
+
+@pytest.mark.parametrize("name", sorted(STRINGS))
+def test_table1_row(benchmark, experiment_log, name):
+    qfilter = QGramFilter(k=1, q=2, selection="window")
+    string = STRINGS[name]
+
+    outcome = run_once(benchmark, lambda: qfilter.evaluate(R, string))
+
+    assert outcome.alphas == pytest.approx(EXPECTED[name]["alphas"], abs=1e-12)
+    decision = outcome.decision(TAU)
+    assert (not decision.rejected) == EXPECTED[name]["candidate"]
+    experiment_log.row(
+        string=name,
+        alpha1=outcome.alphas[0],
+        alpha2=outcome.alphas[1],
+        alpha3=outcome.alphas[2],
+        upper=outcome.upper,
+        candidate=not decision.rejected,
+    )

@@ -1,0 +1,60 @@
+"""Quickstart: (k, tau) similarity join and search over uncertain strings.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    JoinConfig,
+    SimilaritySearcher,
+    parse_uncertain,
+    similarity_join,
+    trie_verify,
+)
+
+# ----------------------------------------------------------------------
+# 1. Build a small collection. Plain text is a fully certain string; a
+#    {(char,prob),...} block is a character-level distribution, exactly
+#    the paper's notation.
+# ----------------------------------------------------------------------
+collection = [
+    parse_uncertain("jonathan smith"),
+    parse_uncertain("jon{(a,0.7),(o,0.3)}than smith"),     # OCR noise on one char
+    parse_uncertain("jonathan sm{(i,0.6),(y,0.4)}th"),
+    parse_uncertain("jennifer smith"),
+    parse_uncertain("gonathan smidt"),
+    parse_uncertain("maria garcia"),
+    parse_uncertain("mar{(i,0.5),(y,0.5)}a garcia"),
+]
+
+# ----------------------------------------------------------------------
+# 2. Join: report pairs (R, S) with Pr(ed(R, S) <= k) > tau.
+#    The default config is the paper's full QFCT pipeline: q-gram
+#    filtering through inverted segment indexes, frequency-distance
+#    filtering, CDF bounds, then trie-based verification.
+# ----------------------------------------------------------------------
+config = JoinConfig(k=2, tau=0.5, report_probabilities=True)
+outcome = similarity_join(collection, config)
+
+print("similar pairs (k=2, tau=0.5):")
+for pair in outcome.pairs:
+    print(
+        f"  #{pair.left_id} ~ #{pair.right_id}   "
+        f"Pr(ed <= 2) = {pair.probability:.3f}"
+    )
+
+print("\npipeline statistics:")
+print(outcome.stats.summary())
+
+# ----------------------------------------------------------------------
+# 3. Search: one query against an indexed collection.
+# ----------------------------------------------------------------------
+searcher = SimilaritySearcher(collection, config)
+query = parse_uncertain("jonathon smith")
+hits = searcher.search(query)
+print(f"\nsearch '{'jonathon smith'}' -> ids {sorted(hits.ids())}")
+
+# ----------------------------------------------------------------------
+# 4. Verify one pair exactly (trie-based verification, Section 6.2).
+# ----------------------------------------------------------------------
+probability = trie_verify(collection[0], collection[1], k=1)
+print(f"\nPr(ed(#0, #1) <= 1) = {probability:.4f}")

@@ -1,0 +1,70 @@
+"""Similarity search as a service: one index, many queries.
+
+Mirrors a lookup workload (e.g. matching an incoming noisy record against
+a master table): the collection is indexed once with
+:class:`SimilaritySearcher`, then each query — deterministic or itself
+uncertain — is answered through the q-gram index, the cheap filters, and
+trie verification.
+
+Run:  python examples/search_service.py
+"""
+
+import time
+
+from repro import JoinConfig, SimilaritySearcher, format_uncertain, parse_uncertain
+from repro.datasets import dblp_like_collection
+from repro.datasets.uncertainty import inject_uncertainty, random_edit
+from repro.uncertain.alphabet import LOWERCASE27
+from repro.util.rng import ensure_rng
+
+COUNT = 400
+K = 2
+TAU = 0.1
+
+
+def main() -> None:
+    rng = ensure_rng(23)
+    print(f"indexing {COUNT} uncertain author names...")
+    collection = dblp_like_collection(COUNT, rng=23)
+    config = JoinConfig(k=K, tau=TAU, report_probabilities=True)
+    t0 = time.perf_counter()
+    searcher = SimilaritySearcher(collection, config)
+    print(f"  index built in {time.perf_counter() - t0:.2f}s")
+
+    # Queries: noisy copies of collection members (1-2 edits), some with
+    # their own character-level uncertainty.
+    base_ids = [rng.randrange(COUNT) for _ in range(5)]
+    queries = []
+    for string_id in base_ids:
+        text = collection[string_id].most_probable_instance()[0]
+        for _ in range(rng.randint(1, 2)):
+            text = random_edit(text, LOWERCASE27, rng)
+        if rng.random() < 0.5:
+            queries.append(inject_uncertainty(text, 0.15, 4, LOWERCASE27, rng))
+        else:
+            queries.append(parse_uncertain(text.replace("{", "").replace("}", "")))
+
+    total = 0.0
+    for query, origin in zip(queries, base_ids):
+        t0 = time.perf_counter()
+        outcome = searcher.search(query)
+        elapsed = time.perf_counter() - t0
+        total += elapsed
+        print(f"\nquery (from #{origin}): {format_uncertain(query, 2)}")
+        print(
+            f"  {len(outcome.matches)} hits in {elapsed * 1000:.1f} ms "
+            f"({outcome.stats.qgram_survivors} index candidates, "
+            f"{outcome.stats.verifications} verifications)"
+        )
+        for match in outcome.matches[:3]:
+            marker = "<-- origin" if match.string_id == origin else ""
+            print(
+                f"    #{match.string_id:<4} Pr={match.probability:.3f} "
+                f"{format_uncertain(collection[match.string_id], 2)} {marker}"
+            )
+
+    print(f"\ntotal query time: {total * 1000:.1f} ms for {len(queries)} queries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` falls back to `setup.py develop` through this file when
+PEP 517 editable builds are unavailable; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — similarity joins for uncertain strings.
+
+A from-scratch reproduction of *"Similarity Joins for Uncertain Strings"*
+(Patil & Shah, SIGMOD 2014): given two collections of character-level
+uncertain strings and thresholds ``(k, tau)``, report every pair with
+``Pr(ed(R, S) <= k) > tau`` — possible-world semantics, without
+enumerating the exponentially many worlds.
+
+Quickstart::
+
+    from repro import JoinConfig, similarity_join, parse_uncertain
+
+    collection = [
+        parse_uncertain("banana"),
+        parse_uncertain("ban{(a,0.7),(e,0.3)}na"),
+        parse_uncertain("bandana"),
+    ]
+    outcome = similarity_join(collection, JoinConfig(k=2, tau=0.5))
+    for pair in outcome.pairs:
+        print(pair.left_id, pair.right_id, pair.probability)
+
+See DESIGN.md for the subsystem inventory and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    IncrementalJoiner,
+    JoinConfig,
+    JoinOutcome,
+    JoinPair,
+    JoinStatistics,
+    SearchMatch,
+    SearchOutcome,
+    SimilaritySearcher,
+    similarity_join,
+    similarity_join_two,
+    similarity_search,
+    top_k_join,
+)
+from repro.distance import (
+    edit_distance,
+    edit_distance_within,
+    edit_similarity_probability,
+    expected_edit_distance,
+    frequency_distance,
+)
+from repro.uncertain import (
+    Alphabet,
+    StringLevelUncertain,
+    UncertainPosition,
+    UncertainString,
+    format_uncertain,
+    parse_uncertain,
+)
+from repro.verify import naive_verify, trie_verify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "IncrementalJoiner",
+    "top_k_join",
+    "JoinConfig",
+    "JoinOutcome",
+    "JoinPair",
+    "JoinStatistics",
+    "SearchMatch",
+    "SearchOutcome",
+    "SimilaritySearcher",
+    "similarity_join",
+    "similarity_join_two",
+    "similarity_search",
+    "edit_distance",
+    "edit_distance_within",
+    "edit_similarity_probability",
+    "expected_edit_distance",
+    "frequency_distance",
+    "Alphabet",
+    "StringLevelUncertain",
+    "UncertainPosition",
+    "UncertainString",
+    "format_uncertain",
+    "parse_uncertain",
+    "naive_verify",
+    "trie_verify",
+    "__version__",
+]

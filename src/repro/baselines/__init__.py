@@ -1,0 +1,22 @@
+"""Baselines and oracles.
+
+* :func:`brute_force_join` — possible-world-enumeration ground truth for
+  (k, τ)-matching; every join variant is tested against it.
+* :func:`eed_join` — the expected-edit-distance join of Jestes et al. [10]
+  (Section 7.9 comparison).
+* :func:`deterministic_pass_join` — Pass-Join over deterministic strings,
+  the yardstick for the "competitive with the deterministic counterpart"
+  discussion at the end of Section 4.
+"""
+
+from repro.baselines.brute import brute_force_join, brute_force_search
+from repro.baselines.eed_join import EedJoinOutcome, eed_join
+from repro.baselines.deterministic import deterministic_pass_join
+
+__all__ = [
+    "brute_force_join",
+    "brute_force_search",
+    "EedJoinOutcome",
+    "eed_join",
+    "deterministic_pass_join",
+]

@@ -1,0 +1,52 @@
+"""Brute-force (k, τ) join: the semantic ground truth.
+
+Enumerates joint possible worlds per pair (with only the length filter as
+a shortcut). Exponential — reserved for tests and small validation runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.distance.probability import edit_similarity_probability
+from repro.uncertain.string import UncertainString
+
+
+def brute_force_join(
+    collection: Sequence[UncertainString],
+    k: int,
+    tau: float,
+    pair_limit: int | None = 2_000_000,
+) -> list[tuple[int, int, float]]:
+    """All ``(i, j, probability)`` with ``i < j`` and probability > τ."""
+    results: list[tuple[int, int, float]] = []
+    for i in range(len(collection)):
+        for j in range(i + 1, len(collection)):
+            if abs(len(collection[i]) - len(collection[j])) > k:
+                continue
+            probability = edit_similarity_probability(
+                collection[i], collection[j], k, pair_limit=pair_limit
+            )
+            if probability > tau:
+                results.append((i, j, probability))
+    return results
+
+
+def brute_force_search(
+    collection: Sequence[UncertainString],
+    query: UncertainString,
+    k: int,
+    tau: float,
+    pair_limit: int | None = 2_000_000,
+) -> list[tuple[int, float]]:
+    """All ``(i, probability)`` with ``Pr(ed(query, S_i) <= k) > tau``."""
+    results: list[tuple[int, float]] = []
+    for i, string in enumerate(collection):
+        if abs(len(string) - len(query)) > k:
+            continue
+        probability = edit_similarity_probability(
+            query, string, k, pair_limit=pair_limit
+        )
+        if probability > tau:
+            results.append((i, probability))
+    return results

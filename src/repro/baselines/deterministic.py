@@ -1,0 +1,71 @@
+"""Pass-Join for deterministic strings (Li et al. [14]).
+
+The deterministic ancestor of the paper's indexing scheme: partition each
+string into ``m`` segments, index segments per (length, position), probe
+with position-aware selected substrings, verify candidates with the
+banded edit-distance kernel. Used to quantify the probabilistic overhead
+factor discussed at the end of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.distance.edit import edit_distance_banded
+from repro.partition.even import partition_for
+from repro.partition.selection import SelectionMode, substring_starts
+
+
+def deterministic_pass_join(
+    strings: Sequence[str],
+    k: int,
+    q: int = 3,
+    selection: SelectionMode = "shift",
+) -> list[tuple[int, int, int]]:
+    """All ``(i, j, ed)`` with ``i < j`` and ``ed(s_i, s_j) <= k``."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    order = sorted(range(len(strings)), key=lambda i: (len(strings[i]), i))
+    # (length, segment index) -> segment text -> list of ranks
+    index: dict[tuple[int, int], dict[str, list[int]]] = {}
+    partitions: dict[int, list] = {}
+    rank_to_id: dict[int, int] = {}
+    results: list[tuple[int, int, int]] = []
+    for rank, string_id in enumerate(order):
+        text = strings[string_id]
+        length = len(text)
+        candidates: set[int] = set()
+        for other_length in range(max(1, length - k), length + 1):
+            segments = partitions.get(other_length)
+            if segments is None:
+                segments = partition_for(other_length, q, k)
+                partitions[other_length] = segments
+            m = len(segments)
+            for segment in segments:
+                lists = index.get((other_length, segment.index))
+                if not lists:
+                    continue
+                for start in substring_starts(
+                    segment, length, other_length, k, m, selection
+                ):
+                    word = text[start : start + segment.length]
+                    ranks = lists.get(word)
+                    if ranks:
+                        candidates.update(ranks)
+        for other_rank in sorted(candidates):
+            other_id = rank_to_id[other_rank]
+            distance = edit_distance_banded(text, strings[other_id], k)
+            if distance <= k:
+                left, right = sorted((string_id, other_id))
+                results.append((left, right, distance))
+        segments = partitions.get(length)
+        if segments is None:
+            segments = partition_for(length, q, k)
+            partitions[length] = segments
+        for segment in segments:
+            lists = index.setdefault((length, segment.index), {})
+            word = text[segment.start : segment.end]
+            lists.setdefault(word, []).append(rank)
+        rank_to_id[rank] = string_id
+    results.sort()
+    return results

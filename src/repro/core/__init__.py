@@ -1,0 +1,32 @@
+"""The public join/search API.
+
+:func:`similarity_join` answers the paper's problem statement: given a
+collection of uncertain strings and thresholds ``(k, tau)``, report all
+pairs with ``Pr(ed(R, S) <= k) > tau``. Algorithm variants (QFCT, QCT,
+QFT, FCT — Section 7) are selected through :class:`JoinConfig`.
+"""
+
+from repro.core.config import ALGORITHMS, JoinConfig
+from repro.core.results import JoinOutcome, JoinPair, SearchMatch, SearchOutcome
+from repro.core.stats import JoinStatistics
+from repro.core.incremental import IncrementalJoiner
+from repro.core.join import similarity_join
+from repro.core.join_two import similarity_join_two
+from repro.core.search import SimilaritySearcher, similarity_search
+from repro.core.topk import top_k_join
+
+__all__ = [
+    "ALGORITHMS",
+    "JoinConfig",
+    "JoinOutcome",
+    "JoinPair",
+    "SearchMatch",
+    "SearchOutcome",
+    "JoinStatistics",
+    "similarity_join",
+    "similarity_join_two",
+    "SimilaritySearcher",
+    "similarity_search",
+    "IncrementalJoiner",
+    "top_k_join",
+]

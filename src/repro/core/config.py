@@ -1,0 +1,130 @@
+"""Join configuration and the paper's algorithm variants.
+
+The Section 7 experiments compare variants named by which filters they
+use, applied in increasing order of overhead: **Q** = q-gram filtering
+(through the inverted segment index), **F** = frequency-distance
+filtering, **C** = CDF bounds, and **T** = trie-based verification (always
+last). ``QFCT`` is the full system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from repro.filters.alpha import GroupMode
+from repro.partition.selection import SELECTION_MODES, SelectionMode
+
+FilterName = Literal["qgram", "frequency", "cdf"]
+VerificationName = Literal["trie", "naive"]
+
+#: Filter stacks of the paper's named algorithm variants.
+ALGORITHMS: dict[str, tuple[FilterName, ...]] = {
+    "QFCT": ("qgram", "frequency", "cdf"),
+    "QCT": ("qgram", "cdf"),
+    "QFT": ("qgram", "frequency"),
+    "FCT": ("frequency", "cdf"),
+    "QT": ("qgram",),
+    "T": (),
+}
+
+_VALID_FILTERS = ("qgram", "frequency", "cdf")
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """All knobs of the join pipeline.
+
+    Parameters
+    ----------
+    k, tau:
+        The (k, τ)-matching thresholds: report pairs with
+        ``Pr(ed(R, S) <= k) > tau``.
+    q:
+        Segment length target of the even-partition scheme (the paper
+        found q = 3 or 4 best; default 3).
+    filters:
+        Subset of ``("qgram", "frequency", "cdf")`` applied in that order.
+    verification:
+        ``"trie"`` (Section 6.2) or ``"naive"`` (Section 7.7 baseline).
+    selection / group_mode / bound_mode:
+        q-gram internals; see :mod:`repro.partition.selection` and
+        :mod:`repro.filters.alpha` / :mod:`repro.filters.events`.
+    report_probabilities:
+        When True, pairs accepted by the CDF lower bound are still
+        verified so every reported pair carries its exact probability;
+        when False (paper behaviour) such pairs skip verification and
+        report ``probability=None``.
+    early_stop_verification:
+        Let verification stop as soon as the τ decision is known.
+    """
+
+    k: int
+    tau: float
+    q: int = 3
+    filters: tuple[FilterName, ...] = ("qgram", "frequency", "cdf")
+    verification: VerificationName = "trie"
+    selection: SelectionMode = "shift"
+    group_mode: GroupMode = "exact"
+    bound_mode: str = "paper"
+    report_probabilities: bool = False
+    early_stop_verification: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+        if not 0.0 <= self.tau < 1.0:
+            raise ValueError(f"tau must be in [0, 1), got {self.tau}")
+        if self.q <= 0:
+            raise ValueError(f"q must be positive, got {self.q}")
+        seen: set[str] = set()
+        for name in self.filters:
+            if name not in _VALID_FILTERS:
+                raise ValueError(f"unknown filter {name!r}")
+            if name in seen:
+                raise ValueError(f"duplicate filter {name!r}")
+            seen.add(name)
+        if self.verification not in ("trie", "naive"):
+            raise ValueError(f"unknown verification {self.verification!r}")
+        if self.selection not in SELECTION_MODES:
+            raise ValueError(f"unknown selection mode {self.selection!r}")
+        if self.group_mode not in ("exact", "beta"):
+            raise ValueError(f"unknown group mode {self.group_mode!r}")
+        if self.bound_mode not in ("paper", "markov"):
+            raise ValueError(f"unknown bound mode {self.bound_mode!r}")
+
+    @classmethod
+    def for_algorithm(cls, name: str, k: int, tau: float, **overrides) -> "JoinConfig":
+        """Config for a named variant (QFCT, QCT, QFT, FCT, QT, T)."""
+        try:
+            filters = ALGORITHMS[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+            ) from None
+        return cls(k=k, tau=tau, filters=filters, **overrides)
+
+    @property
+    def uses_qgram(self) -> bool:
+        return "qgram" in self.filters
+
+    @property
+    def uses_frequency(self) -> bool:
+        return "frequency" in self.filters
+
+    @property
+    def uses_cdf(self) -> bool:
+        return "cdf" in self.filters
+
+    @property
+    def algorithm_name(self) -> str:
+        """The paper-style acronym for this filter stack."""
+        for name, filters in ALGORITHMS.items():
+            if filters == self.filters:
+                return name
+        letters = "".join(f[0].upper() for f in self.filters)
+        return f"{letters}T"
+
+    def with_filters(self, filters: tuple[FilterName, ...]) -> "JoinConfig":
+        """A copy with a different filter stack (for variant sweeps)."""
+        return replace(self, filters=filters)

@@ -1,0 +1,99 @@
+"""The self-join driver (Section 4).
+
+Strings are visited in ascending length order (ties by id). For the
+current string ``R`` the driver finds all similar strings *among already
+visited strings only* — via the inverted segment index when q-gram
+filtering is enabled, else via the plain length filter — refines the
+candidates through the configured filter stack, verifies survivors, and
+only then inserts ``R``'s segments into the index. No pair is enumerated
+twice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import JoinConfig
+from repro.core.pipeline import CandidateRefiner
+from repro.core.results import JoinOutcome, JoinPair
+from repro.core.stats import JoinStatistics
+from repro.index.inverted import SegmentInvertedIndex
+from repro.uncertain.string import UncertainString
+
+
+def similarity_join(
+    collection: Sequence[UncertainString], config: JoinConfig
+) -> JoinOutcome:
+    """All pairs ``(i, j)`` with ``Pr(ed(S_i, S_j) <= k) > tau``.
+
+    Returns a :class:`JoinOutcome` whose pairs are keyed by positions in
+    ``collection`` (``left_id < right_id``) and whose stats carry the
+    per-stage counters/timers the benchmarks report.
+    """
+    stats = JoinStatistics(total_strings=len(collection))
+    refiner = CandidateRefiner(config, stats)
+    index = (
+        SegmentInvertedIndex(
+            k=config.k,
+            q=config.q,
+            selection=config.selection,
+            group_mode=config.group_mode,
+            bound_mode=config.bound_mode,
+        )
+        if config.uses_qgram
+        else None
+    )
+    # Visit order: ascending length, ties by id. Ranks (positions in this
+    # order) are the ids used inside the index so insertions stay sorted.
+    order = sorted(range(len(collection)), key=lambda i: (len(collection[i]), i))
+    rank_to_id = {rank: string_id for rank, string_id in enumerate(order)}
+    visited_by_length: dict[int, list[int]] = {}
+    visited_lengths_count: dict[int, int] = {}
+
+    pairs: list[JoinPair] = []
+    total_timer = stats.timer("total").start()
+    for rank, string_id in enumerate(order):
+        current = collection[string_id]
+        length = len(current)
+
+        eligible = sum(
+            count
+            for other_length, count in visited_lengths_count.items()
+            if abs(other_length - length) <= config.k
+        )
+        stats.length_eligible_pairs += eligible
+
+        if index is not None:
+            with stats.timer("qgram"):
+                candidates = [
+                    (candidate.string_id, candidate.upper)
+                    for candidate in index.query(current, config.tau)
+                ]
+            stats.qgram_survivors += len(candidates)
+            stats.qgram_rejected += eligible - len(candidates)
+        else:
+            candidates = []
+            for other_length, ranks in visited_by_length.items():
+                if abs(other_length - length) <= config.k:
+                    candidates.extend((other, None) for other in ranks)
+            stats.qgram_survivors += len(candidates)
+
+        for other_rank, _upper in sorted(candidates):
+            other_id = rank_to_id[other_rank]
+            other = collection[other_id]
+            similar, probability = refiner.refine(
+                string_id, current, other_id, other
+            )
+            if similar:
+                left, right = sorted((string_id, other_id))
+                pairs.append(JoinPair(left, right, probability))
+
+        if index is not None:
+            with stats.timer("index"):
+                index.add(rank, current)
+        visited_by_length.setdefault(length, []).append(rank)
+        visited_lengths_count[length] = visited_lengths_count.get(length, 0) + 1
+    total_timer.stop()
+    stats.result_pairs = len(pairs)
+    pairs.sort()
+    return JoinOutcome(pairs=pairs, stats=stats)

@@ -1,0 +1,63 @@
+"""R-S join over two distinct collections.
+
+The paper focuses on the self-join "without loss of generality"
+(Section 1); this module supplies the general form: all pairs
+``(R in left, S in right)`` with ``Pr(ed(R, S) <= k) > tau``. The right
+collection is indexed once; each left string probes it exactly like a
+search query, so the machinery and guarantees are identical to the
+self-join's.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import JoinConfig
+from repro.core.results import JoinOutcome, JoinPair
+from repro.core.search import SimilaritySearcher
+from repro.core.stats import JoinStatistics
+from repro.uncertain.string import UncertainString
+
+
+def similarity_join_two(
+    left: Sequence[UncertainString],
+    right: Sequence[UncertainString],
+    config: JoinConfig,
+) -> JoinOutcome:
+    """All cross-collection pairs satisfying (k, τ)-matching.
+
+    Result pairs carry ``left_id`` from ``left`` and ``right_id`` from
+    ``right`` (no ordering constraint between the two id spaces).
+    """
+    searcher = SimilaritySearcher(right, config)
+    totals = JoinStatistics(total_strings=len(left) + len(right))
+    pairs: list[JoinPair] = []
+    total_timer = totals.timer("total").start()
+    for left_id, query in enumerate(left):
+        outcome = searcher.search(query)
+        for match in outcome.matches:
+            pairs.append(JoinPair(left_id, match.string_id, match.probability))
+        _accumulate(totals, outcome.stats)
+    total_timer.stop()
+    totals.result_pairs = len(pairs)
+    pairs.sort()
+    return JoinOutcome(pairs=pairs, stats=totals)
+
+
+def _accumulate(into: JoinStatistics, batch: JoinStatistics) -> None:
+    """Fold one query's counters/timers into the run totals."""
+    into.length_eligible_pairs += batch.length_eligible_pairs
+    into.qgram_survivors += batch.qgram_survivors
+    into.qgram_rejected += batch.qgram_rejected
+    into.frequency_checked += batch.frequency_checked
+    into.frequency_survivors += batch.frequency_survivors
+    into.cdf_checked += batch.cdf_checked
+    into.cdf_accepted += batch.cdf_accepted
+    into.cdf_rejected += batch.cdf_rejected
+    into.cdf_undecided += batch.cdf_undecided
+    into.verifications += batch.verifications
+    into.verification_hits += batch.verification_hits
+    into.false_candidates += batch.false_candidates
+    for stage, watch in batch.timers.items():
+        if stage != "total":
+            into.timer(stage).add(watch.elapsed)

@@ -1,0 +1,144 @@
+"""Per-candidate refinement shared by join and search drivers.
+
+A candidate pair that emerged from the q-gram stage (or from the plain
+length filter) flows through: frequency-distance filtering (Section 5) →
+CDF bounds (Section 6.1) → exact verification (Section 6.2 / 7.7). The
+refiner owns the filter instances, applies them in the configured order,
+and records counts/timings into :class:`JoinStatistics`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import JoinConfig
+from repro.core.stats import JoinStatistics
+from repro.filters.cdf import CdfBoundFilter
+from repro.filters.frequency import FrequencyDistanceFilter, FrequencyProfile
+from repro.uncertain.string import UncertainString
+from repro.verify.naive import naive_verify, naive_verify_threshold
+from repro.verify.trie import Trie, build_trie
+from repro.verify.trie_verify import trie_verify, trie_verify_threshold
+
+
+class CandidateRefiner:
+    """Runs the post-q-gram stages of the pipeline for one driver run."""
+
+    def __init__(self, config: JoinConfig, stats: JoinStatistics) -> None:
+        self.config = config
+        self.stats = stats
+        self._frequency = (
+            FrequencyDistanceFilter(config.k) if config.uses_frequency else None
+        )
+        self._cdf = CdfBoundFilter(config.k) if config.uses_cdf else None
+        self._profiles: dict[int, FrequencyProfile] = {}
+        self._trie_cache_id: int | None = None
+        self._trie_cache: Trie | None = None
+
+    # ------------------------------------------------------------------
+    # cached per-string preprocessing
+    # ------------------------------------------------------------------
+
+    def profile(self, string_id: int, string: UncertainString) -> FrequencyProfile:
+        """Frequency profile of a string, built once (index-resident state)."""
+        prof = self._profiles.get(string_id)
+        if prof is None:
+            prof = FrequencyProfile(string)
+            self._profiles[string_id] = prof
+        return prof
+
+    def _trie_for(self, string_id: int, string: UncertainString) -> Trie:
+        """Trie of the current query string, rebuilt only when it changes.
+
+        Matches the paper's amortization: ``T_R`` is built once and reused
+        for all candidate pairs ``(R, *)``.
+        """
+        if self._trie_cache_id != string_id or self._trie_cache is None:
+            self._trie_cache = build_trie(string)
+            self._trie_cache_id = string_id
+        return self._trie_cache
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+
+    def refine(
+        self,
+        left_id: int,
+        left: UncertainString,
+        right_id: int,
+        right: UncertainString,
+    ) -> tuple[bool, float | None]:
+        """Frequency → CDF → verification for one candidate pair.
+
+        ``left`` is the current query string R (its trie is cached);
+        ``right`` is the earlier-visited candidate S. Returns
+        ``(is_result, probability)``.
+        """
+        config = self.config
+        stats = self.stats
+        if self._frequency is not None:
+            stats.frequency_checked += 1
+            with stats.timer("frequency"):
+                decision = self._frequency.decide(
+                    self.profile(left_id, left),
+                    self.profile(right_id, right),
+                    config.tau,
+                )
+            if decision.rejected:
+                return False, None
+            stats.frequency_survivors += 1
+
+        accepted_by_cdf = False
+        if self._cdf is not None:
+            stats.cdf_checked += 1
+            with stats.timer("cdf"):
+                decision = self._cdf.decide(left, right, config.tau)
+            if decision.rejected:
+                stats.cdf_rejected += 1
+                return False, None
+            if decision.accepted:
+                stats.cdf_accepted += 1
+                accepted_by_cdf = True
+            else:
+                stats.cdf_undecided += 1
+
+        if accepted_by_cdf and not config.report_probabilities:
+            return True, None
+        return self._verify(left_id, left, right, accepted_by_cdf)
+
+    def _verify(
+        self,
+        left_id: int,
+        left: UncertainString,
+        right: UncertainString,
+        accepted_by_cdf: bool,
+    ) -> tuple[bool, float | None]:
+        config = self.config
+        stats = self.stats
+        stats.verifications += 1
+        want_exact = config.report_probabilities or not config.early_stop_verification
+        with stats.timer("verification"):
+            if config.verification == "trie":
+                trie = self._trie_for(left_id, left)
+                if want_exact:
+                    probability = trie_verify(left, right, config.k, left_trie=trie)
+                    similar = probability > config.tau
+                else:
+                    similar = trie_verify_threshold(
+                        left, right, config.k, config.tau, left_trie=trie
+                    )
+                    probability = None
+            else:
+                if want_exact:
+                    probability = naive_verify(left, right, config.k)
+                    similar = probability > config.tau
+                else:
+                    similar = naive_verify_threshold(left, right, config.k, config.tau)
+                    probability = None
+        # When the CDF lower bound accepted the pair, verification ran only
+        # to produce the exact probability; the two can disagree only on
+        # floating-point knife edges, and the exact verifier wins.
+        if similar:
+            stats.verification_hits += 1
+        else:
+            stats.false_candidates += 1
+        return similar, probability if similar else None

@@ -1,0 +1,69 @@
+"""Result containers for joins and searches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stats import JoinStatistics
+
+
+@dataclass(frozen=True, order=True)
+class JoinPair:
+    """One similar pair: ``Pr(ed(R_left, R_right) <= k) > tau``.
+
+    ``left_id < right_id`` always (self-join convention). ``probability``
+    is the exact similarity probability when verification computed it, or
+    ``None`` for pairs accepted by the CDF lower bound under
+    ``report_probabilities=False``.
+    """
+
+    left_id: int
+    right_id: int
+    probability: float | None = field(compare=False, default=None)
+
+    @property
+    def ids(self) -> tuple[int, int]:
+        return self.left_id, self.right_id
+
+
+@dataclass
+class JoinOutcome:
+    """Everything a join run produced: pairs plus instrumentation."""
+
+    pairs: list[JoinPair]
+    stats: JoinStatistics
+
+    def id_pairs(self) -> set[tuple[int, int]]:
+        """The result as a set of id pairs (handy for comparisons)."""
+        return {pair.ids for pair in self.pairs}
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+
+@dataclass(frozen=True, order=True)
+class SearchMatch:
+    """One search hit: collection string similar to the query."""
+
+    string_id: int
+    probability: float | None = field(compare=False, default=None)
+
+
+@dataclass
+class SearchOutcome:
+    """Search results plus instrumentation."""
+
+    matches: list[SearchMatch]
+    stats: JoinStatistics
+
+    def ids(self) -> set[int]:
+        return {match.string_id for match in self.matches}
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self):
+        return iter(self.matches)

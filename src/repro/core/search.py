@@ -1,0 +1,90 @@
+"""Similarity search over an indexed collection.
+
+The paper's machinery answers search queries too (its indexes were
+originally built for them): all strings ``S`` in the collection with
+``Pr(ed(Q, S) <= k) > tau`` for an uncertain (or deterministic) query
+``Q``. :class:`SimilaritySearcher` builds the index once and serves many
+queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import JoinConfig
+from repro.core.pipeline import CandidateRefiner
+from repro.core.results import SearchMatch, SearchOutcome
+from repro.core.stats import JoinStatistics
+from repro.index.inverted import SegmentInvertedIndex
+from repro.uncertain.string import UncertainString
+
+
+class SimilaritySearcher:
+    """An immutable collection indexed for repeated similarity searches."""
+
+    def __init__(
+        self, collection: Sequence[UncertainString], config: JoinConfig
+    ) -> None:
+        self.collection = list(collection)
+        self.config = config
+        self._by_length: dict[int, list[int]] = {}
+        self._index: SegmentInvertedIndex | None = None
+        order = sorted(
+            range(len(self.collection)), key=lambda i: (len(self.collection[i]), i)
+        )
+        self._rank_to_id = {rank: string_id for rank, string_id in enumerate(order)}
+        if config.uses_qgram:
+            self._index = SegmentInvertedIndex(
+                k=config.k,
+                q=config.q,
+                selection=config.selection,
+                group_mode=config.group_mode,
+                bound_mode=config.bound_mode,
+            )
+            for rank, string_id in enumerate(order):
+                self._index.add(rank, self.collection[string_id])
+        for string_id, string in enumerate(self.collection):
+            self._by_length.setdefault(len(string), []).append(string_id)
+
+    def search(self, query: UncertainString) -> SearchOutcome:
+        """All collection strings similar to ``query`` under (k, τ)."""
+        config = self.config
+        stats = JoinStatistics(total_strings=len(self.collection))
+        refiner = CandidateRefiner(config, stats)
+        total = stats.timer("total").start()
+        if self._index is not None:
+            with stats.timer("qgram"):
+                candidates = [
+                    self._rank_to_id[candidate.string_id]
+                    for candidate in self._index.query(query, config.tau)
+                ]
+            stats.qgram_survivors += len(candidates)
+        else:
+            candidates = [
+                string_id
+                for length, ids in self._by_length.items()
+                if abs(length - len(query)) <= config.k
+                for string_id in ids
+            ]
+            stats.qgram_survivors += len(candidates)
+        matches: list[SearchMatch] = []
+        query_key = -1  # pseudo-id for the query's cached trie/profile
+        for string_id in sorted(candidates):
+            similar, probability = refiner.refine(
+                query_key, query, string_id, self.collection[string_id]
+            )
+            if similar:
+                matches.append(SearchMatch(string_id, probability))
+        total.stop()
+        stats.result_pairs = len(matches)
+        matches.sort()
+        return SearchOutcome(matches=matches, stats=stats)
+
+
+def similarity_search(
+    collection: Sequence[UncertainString],
+    query: UncertainString,
+    config: JoinConfig,
+) -> SearchOutcome:
+    """One-shot search: build the index, run one query."""
+    return SimilaritySearcher(collection, config).search(query)

@@ -1,0 +1,90 @@
+"""Join instrumentation.
+
+Counts and per-stage timings matching what the paper's figures report:
+candidates surviving each filter (Figure 2), filtering vs. query time
+(Figure 3), CDF accept/reject split (Figure 5), verification counts and
+time (Figure 8), and the false-positive count of the verification stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.timing import Stopwatch
+
+
+@dataclass
+class JoinStatistics:
+    """Counters and stopwatches for one join/search run."""
+
+    total_strings: int = 0
+    #: pairs passing the length filter (the universe Q-gram works on);
+    #: for q-gram runs this counts index candidates *before* pruning is
+    #: not observable, so it counts length-eligible pairs when available.
+    length_eligible_pairs: int = 0
+    #: candidates produced by the q-gram stage (survivors of Lemma 5 +
+    #: Theorem 2), or the length-eligible pairs when q-gram is disabled.
+    qgram_survivors: int = 0
+    qgram_rejected: int = 0
+    frequency_checked: int = 0
+    frequency_survivors: int = 0
+    cdf_checked: int = 0
+    cdf_accepted: int = 0
+    cdf_rejected: int = 0
+    cdf_undecided: int = 0
+    verifications: int = 0
+    verification_hits: int = 0
+    #: verified candidates that turned out dissimilar — the paper's
+    #: "false positives in the verification step".
+    false_candidates: int = 0
+    result_pairs: int = 0
+
+    timers: dict[str, Stopwatch] = field(default_factory=dict)
+
+    def timer(self, stage: str) -> Stopwatch:
+        """The (created-on-demand) stopwatch for ``stage``."""
+        watch = self.timers.get(stage)
+        if watch is None:
+            watch = Stopwatch()
+            self.timers[stage] = watch
+        return watch
+
+    def seconds(self, stage: str) -> float:
+        """Elapsed seconds recorded for ``stage`` (0.0 if never timed)."""
+        watch = self.timers.get(stage)
+        return watch.elapsed if watch is not None else 0.0
+
+    @property
+    def filtering_seconds(self) -> float:
+        """Total time spent in all filtering stages."""
+        return sum(
+            self.seconds(stage) for stage in ("qgram", "frequency", "cdf", "index")
+        )
+
+    @property
+    def verification_seconds(self) -> float:
+        return self.seconds("verification")
+
+    @property
+    def total_seconds(self) -> float:
+        return self.seconds("total")
+
+    def summary(self) -> str:
+        """A compact human-readable report."""
+        lines = [
+            f"strings:              {self.total_strings}",
+            f"length-eligible:      {self.length_eligible_pairs}",
+            f"qgram survivors:      {self.qgram_survivors} "
+            f"(rejected {self.qgram_rejected})",
+            f"frequency survivors:  {self.frequency_survivors} "
+            f"(checked {self.frequency_checked})",
+            f"cdf accept/reject:    {self.cdf_accepted}/{self.cdf_rejected} "
+            f"(undecided {self.cdf_undecided})",
+            f"verifications:        {self.verifications} "
+            f"(hits {self.verification_hits}, false {self.false_candidates})",
+            f"result pairs:         {self.result_pairs}",
+            f"filter time:          {self.filtering_seconds:.4f}s",
+            f"verification time:    {self.verification_seconds:.4f}s",
+            f"total time:           {self.total_seconds:.4f}s",
+        ]
+        return "\n".join(lines)

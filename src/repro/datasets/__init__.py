@@ -1,0 +1,27 @@
+"""Synthetic datasets mirroring the paper's evaluation data (Section 7).
+
+The paper derives uncertain strings from two real sources — dblp author
+names and a mouse+human protein sequence — via the injection procedure of
+[10, 4]. We have no corpora in this environment, so the *sources* are
+simulated (author-like names over the 27-symbol alphabet, residue strings
+over the 22-symbol amino-acid alphabet, with the paper's length
+distributions) while the *injection procedure itself* is reproduced
+faithfully; see DESIGN.md Section 3 for the substitution argument.
+"""
+
+from repro.datasets.names import generate_author_names
+from repro.datasets.protein import generate_protein_strings
+from repro.datasets.uncertainty import inject_uncertainty, make_uncertain_collection
+from repro.datasets.loader import load_collection, save_collection
+from repro.datasets.presets import dblp_like_collection, protein_like_collection
+
+__all__ = [
+    "generate_author_names",
+    "generate_protein_strings",
+    "inject_uncertainty",
+    "make_uncertain_collection",
+    "load_collection",
+    "save_collection",
+    "dblp_like_collection",
+    "protein_like_collection",
+]

@@ -1,0 +1,38 @@
+"""Persistence for uncertain-string collections.
+
+One string per line in the :mod:`repro.uncertain.parser` notation; blank
+lines and ``#`` comments are skipped. This keeps generated benchmark
+datasets inspectable with a text editor.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.uncertain.parser import format_uncertain, parse_uncertain
+from repro.uncertain.string import UncertainString
+
+
+def save_collection(
+    collection: Sequence[UncertainString], path: str | Path, precision: int = 8
+) -> None:
+    """Write one formatted uncertain string per line."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for string in collection:
+            handle.write(format_uncertain(string, precision=precision))
+            handle.write("\n")
+
+
+def load_collection(path: str | Path) -> list[UncertainString]:
+    """Read a collection saved by :func:`save_collection`."""
+    source = Path(path)
+    collection: list[UncertainString] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            collection.append(parse_uncertain(line))
+    return collection

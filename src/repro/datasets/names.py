@@ -1,0 +1,70 @@
+"""Author-name-like string generation (the dblp stand-in).
+
+Names are built from syllables (consonant–vowel cores with occasional
+codas) into "given family" shapes, lowercased over the 27-symbol alphabet
+(a–z plus space). Lengths approximately follow the paper's dblp profile:
+a normal distribution clipped to [10, 35] with mean ≈ 19.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.util.rng import ensure_rng
+
+_ONSETS = (
+    "b", "c", "ch", "d", "f", "g", "h", "j", "k", "l", "m",
+    "n", "p", "r", "s", "sh", "t", "th", "v", "w", "y", "z",
+)
+_VOWELS = ("a", "e", "i", "o", "u", "ai", "ee", "ia", "io", "ou")
+_CODAS = ("", "", "", "n", "m", "r", "s", "l", "ng", "k", "t")
+
+#: Paper's dblp profile: lengths ~ Normal(19, 4.5) clipped to [10, 35].
+LENGTH_MEAN = 19.0
+LENGTH_STDDEV = 4.5
+LENGTH_RANGE = (10, 35)
+
+
+def _syllable(rng: random.Random) -> str:
+    return (
+        rng.choice(_ONSETS) + rng.choice(_VOWELS) + rng.choice(_CODAS)
+    )
+
+
+def _word(rng: random.Random, syllables: int) -> str:
+    return "".join(_syllable(rng) for _ in range(syllables))
+
+
+def generate_author_name(rng: random.Random, target_length: int) -> str:
+    """One "given family" name close to ``target_length`` characters."""
+    lo, hi = LENGTH_RANGE
+    name = f"{_word(rng, rng.randint(1, 2))} {_word(rng, rng.randint(1, 3))}"
+    while len(name) < target_length:
+        name += f" {_word(rng, 1)}" if rng.random() < 0.3 else _syllable(rng)
+    if len(name) > max(target_length, hi):
+        name = name[: max(target_length, lo)].rstrip()
+    return name if len(name) >= lo else name + _word(rng, 1)
+
+
+def generate_author_names(
+    count: int, rng: random.Random | int | None = None
+) -> list[str]:
+    """``count`` author-like strings with the paper's length profile."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    generator = ensure_rng(rng)
+    lo, hi = LENGTH_RANGE
+    names: list[str] = []
+    for _ in range(count):
+        target = int(round(generator.gauss(LENGTH_MEAN, LENGTH_STDDEV)))
+        target = max(lo, min(hi, target))
+        names.append(generate_author_name(generator, target))
+    return names
+
+
+def mean_length(strings: Sequence[str]) -> float:
+    """Average string length (reported in the paper's dataset table)."""
+    if not strings:
+        return 0.0
+    return sum(len(s) for s in strings) / len(strings)

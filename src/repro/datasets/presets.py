@@ -1,0 +1,94 @@
+"""One-call dataset presets with the paper's default parameters.
+
+Real dblp contains many near-duplicate author names (the reason
+similarity joins exist); purely random strings would make every join
+empty. ``duplicate_rate`` therefore re-emits perturbed copies of earlier
+strings — the same clustered structure mined from real corpora.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.names import generate_author_names
+from repro.datasets.protein import generate_protein_strings
+from repro.datasets.uncertainty import random_edit, make_uncertain_collection
+from repro.uncertain.alphabet import LOWERCASE27, PROTEIN22, Alphabet
+from repro.uncertain.string import UncertainString
+from repro.util.rng import ensure_rng
+
+
+def add_near_duplicates(
+    strings: list[str],
+    rate: float,
+    alphabet: Alphabet,
+    rng: random.Random,
+    max_edits: int = 2,
+) -> list[str]:
+    """Replace a ``rate`` fraction of strings with noisy copies of others.
+
+    Each duplicate applies 0–``max_edits`` random edits to a uniformly
+    chosen base string, creating the similar-pair clusters a join reports.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if not strings:
+        return strings
+    out = list(strings)
+    for i in range(1, len(out)):
+        if rng.random() < rate:
+            base = out[rng.randrange(i)]
+            variant = base
+            for _ in range(rng.randint(0, max_edits)):
+                variant = random_edit(variant, alphabet, rng)
+            out[i] = variant
+    return out
+
+
+def dblp_like_collection(
+    count: int,
+    theta: float = 0.2,
+    gamma: int = 5,
+    rng: random.Random | int | None = 0,
+    max_uncertain_positions: int | None = 8,
+    duplicate_rate: float = 0.35,
+) -> list[UncertainString]:
+    """Author-name-like uncertain strings (paper defaults: θ=0.2, γ=5).
+
+    ``max_uncertain_positions`` defaults to the paper's verification cap
+    of 8 uncertain characters per string; ``duplicate_rate`` controls the
+    fraction of near-duplicate names (see module docstring).
+    """
+    generator = ensure_rng(rng)
+    names = generate_author_names(count, generator)
+    names = add_near_duplicates(names, duplicate_rate, LOWERCASE27, generator)
+    return make_uncertain_collection(
+        names,
+        theta=theta,
+        gamma=gamma,
+        alphabet=LOWERCASE27,
+        rng=generator,
+        max_uncertain_positions=max_uncertain_positions,
+    )
+
+
+def protein_like_collection(
+    count: int,
+    theta: float = 0.1,
+    gamma: int = 5,
+    rng: random.Random | int | None = 0,
+    max_uncertain_positions: int | None = 8,
+    duplicate_rate: float = 0.35,
+) -> list[UncertainString]:
+    """Protein-like uncertain strings (paper defaults: θ=0.1, γ=5)."""
+    generator = ensure_rng(rng)
+    strings = generate_protein_strings(count, generator)
+    strings = add_near_duplicates(strings, duplicate_rate, PROTEIN22, generator)
+    return make_uncertain_collection(
+        strings,
+        theta=theta,
+        gamma=gamma,
+        alphabet=PROTEIN22,
+        rng=generator,
+        max_uncertain_positions=max_uncertain_positions,
+    )

@@ -1,0 +1,59 @@
+"""Protein-like residue strings (the mouse+human sequence stand-in).
+
+The paper concatenates mouse and human protein sequences and breaks the
+result into strings of uniform length in [20, 45] over a 22-letter
+alphabet. We synthesize one long residue sequence from the stationary
+amino-acid composition of vertebrate proteomes (UniProt-style
+frequencies) and break it the same way.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.util.rng import ensure_rng
+
+#: Approximate amino-acid composition of vertebrate proteomes; U and O are
+#: vanishingly rare but keep the alphabet at the paper's |Σ| = 22.
+AMINO_ACID_FREQUENCIES: dict[str, float] = {
+    "A": 0.070, "R": 0.056, "N": 0.036, "D": 0.048, "C": 0.023,
+    "Q": 0.047, "E": 0.071, "G": 0.066, "H": 0.026, "I": 0.043,
+    "L": 0.100, "K": 0.057, "M": 0.021, "F": 0.036, "P": 0.063,
+    "S": 0.083, "T": 0.053, "W": 0.012, "Y": 0.027, "V": 0.060,
+    "U": 0.001, "O": 0.001,
+}
+
+#: Paper's protein profile: lengths uniform in [20, 45].
+LENGTH_RANGE = (20, 45)
+
+
+def generate_protein_sequence(length: int, rng: random.Random | int | None = None) -> str:
+    """One long residue sequence with realistic composition."""
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    generator = ensure_rng(rng)
+    residues = list(AMINO_ACID_FREQUENCIES)
+    weights = list(AMINO_ACID_FREQUENCIES.values())
+    return "".join(generator.choices(residues, weights=weights, k=length))
+
+
+def generate_protein_strings(
+    count: int,
+    rng: random.Random | int | None = None,
+    length_range: tuple[int, int] = LENGTH_RANGE,
+) -> list[str]:
+    """Break a synthetic proteome into ``count`` strings (paper's method)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    lo, hi = length_range
+    if not 0 < lo <= hi:
+        raise ValueError(f"invalid length range {length_range!r}")
+    generator = ensure_rng(rng)
+    lengths = [generator.randint(lo, hi) for _ in range(count)]
+    sequence = generate_protein_sequence(sum(lengths), generator)
+    strings: list[str] = []
+    offset = 0
+    for length in lengths:
+        strings.append(sequence[offset : offset + length])
+        offset += length
+    return strings

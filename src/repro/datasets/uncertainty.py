@@ -1,0 +1,153 @@
+"""Uncertainty injection — the procedure of Section 7 (after [10, 4]).
+
+For each deterministic source string ``s``:
+
+1. build a neighborhood ``A(s)`` of strings within edit distance 4 of
+   ``s`` (synthesized here by applying 1–4 random edits, since we mine no
+   corpus; ``s`` itself is included several times so the true letter
+   dominates each positional distribution);
+2. choose ``ceil(theta * |s|)`` positions uniformly at random;
+3. for each chosen position ``i``, the pdf of ``S[i]`` is the normalized
+   frequency of the letters appearing at position ``i`` across ``A(s)``,
+   truncated to about ``gamma`` alternatives (the paper sets the average
+   number of choices γ to 5).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.uncertain.alphabet import Alphabet
+from repro.uncertain.position import UncertainPosition
+from repro.uncertain.string import UncertainString
+from repro.util.rng import ensure_rng
+
+#: Edit radius of the neighborhood A(s) (the paper uses 4).
+NEIGHBORHOOD_RADIUS = 4
+
+#: Number of synthetic neighbors generated per string.
+NEIGHBORHOOD_SIZE = 24
+
+#: Weight of the original string inside A(s): keeps the true letter the
+#: modal alternative at every uncertain position.
+SELF_WEIGHT = 8
+
+
+def random_edit(text: str, alphabet: Alphabet, rng: random.Random) -> str:
+    """Apply one random insertion, deletion, or substitution."""
+    symbols = alphabet.symbols
+    if not text:
+        return rng.choice(symbols)
+    op = rng.randrange(3)
+    pos = rng.randrange(len(text))
+    if op == 0 and len(text) > 1:  # deletion
+        return text[:pos] + text[pos + 1 :]
+    if op == 1:  # insertion
+        return text[:pos] + rng.choice(symbols) + text[pos:]
+    return text[:pos] + rng.choice(symbols) + text[pos + 1 :]  # substitution
+
+
+def neighborhood(
+    text: str,
+    alphabet: Alphabet,
+    rng: random.Random,
+    size: int = NEIGHBORHOOD_SIZE,
+    radius: int = NEIGHBORHOOD_RADIUS,
+) -> list[str]:
+    """A synthetic ``A(s)``: ``size`` variants within ``radius`` edits."""
+    variants = [text] * SELF_WEIGHT
+    for _ in range(size):
+        variant = text
+        for _ in range(rng.randint(1, radius)):
+            variant = random_edit(variant, alphabet, rng)
+        variants.append(variant)
+    return variants
+
+
+def positional_pdf(
+    variants: Sequence[str],
+    index: int,
+    true_char: str,
+    gamma: int,
+    rng: random.Random,
+) -> UncertainPosition:
+    """The pdf of position ``index`` from letter frequencies over ``A(s)``.
+
+    Letters are counted across all variants long enough to have position
+    ``index``; the distribution is truncated to at most ``gamma_i``
+    alternatives (drawn around ``gamma``), always keeping ``true_char``.
+    """
+    counts: dict[str, int] = {}
+    for variant in variants:
+        if index < len(variant):
+            char = variant[index]
+            counts[char] = counts.get(char, 0) + 1
+    counts.setdefault(true_char, 1)
+    # Draw this position's support size around gamma (>= 2 so the position
+    # is genuinely uncertain), then keep the most frequent letters.
+    target = max(2, gamma + rng.choice((-1, 0, 0, 1)))
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    kept = dict(ranked[:target])
+    kept[true_char] = max(kept.get(true_char, 1), counts[true_char])
+    total = sum(kept.values())
+    return UncertainPosition({char: count / total for char, count in kept.items()})
+
+
+def inject_uncertainty(
+    text: str,
+    theta: float,
+    gamma: int,
+    alphabet: Alphabet,
+    rng: random.Random | int | None = None,
+) -> UncertainString:
+    """Turn ``text`` into a character-level uncertain string.
+
+    ``theta`` is the fraction of uncertain positions, ``gamma`` the target
+    mean number of alternatives per uncertain position.
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError(f"theta must be in [0, 1], got {theta}")
+    if gamma < 2:
+        raise ValueError(f"gamma must be at least 2, got {gamma}")
+    generator = ensure_rng(rng)
+    variants = neighborhood(text, alphabet, generator)
+    uncertain_count = math.ceil(theta * len(text))
+    chosen = set(
+        generator.sample(range(len(text)), min(uncertain_count, len(text)))
+    )
+    positions = [
+        positional_pdf(variants, i, ch, gamma, generator)
+        if i in chosen
+        else UncertainPosition.certain(ch)
+        for i, ch in enumerate(text)
+    ]
+    return UncertainString(positions)
+
+
+def make_uncertain_collection(
+    strings: Sequence[str],
+    theta: float,
+    gamma: int,
+    alphabet: Alphabet,
+    rng: random.Random | int | None = None,
+    max_uncertain_positions: int | None = None,
+) -> list[UncertainString]:
+    """Inject uncertainty into a whole collection.
+
+    ``max_uncertain_positions`` caps uncertain positions per string (the
+    paper caps at 8 in the string-length experiment, Section 7.8, to keep
+    verification feasible).
+    """
+    generator = ensure_rng(rng)
+    collection: list[UncertainString] = []
+    for text in strings:
+        effective_theta = theta
+        if max_uncertain_positions is not None and len(text) > 0:
+            cap = max_uncertain_positions / len(text)
+            effective_theta = min(theta, cap)
+        collection.append(
+            inject_uncertainty(text, effective_theta, gamma, alphabet, generator)
+        )
+    return collection

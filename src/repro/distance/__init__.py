@@ -1,0 +1,26 @@
+"""Distance kernels: edit distance, frequency distance, EED, and the exact
+possible-world reference for ``Pr(ed(R, S) <= k)``.
+"""
+
+from repro.distance.edit import (
+    edit_distance,
+    edit_distance_banded,
+    edit_distance_within,
+)
+from repro.distance.frequency import (
+    frequency_vector,
+    frequency_distance,
+)
+from repro.distance.eed import expected_edit_distance, sampled_expected_edit_distance
+from repro.distance.probability import edit_similarity_probability
+
+__all__ = [
+    "edit_distance",
+    "edit_distance_banded",
+    "edit_distance_within",
+    "frequency_vector",
+    "frequency_distance",
+    "expected_edit_distance",
+    "sampled_expected_edit_distance",
+    "edit_similarity_probability",
+]

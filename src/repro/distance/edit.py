@@ -1,0 +1,101 @@
+"""Edit-distance kernels for deterministic strings.
+
+Three entry points, increasingly specialized:
+
+* :func:`edit_distance` — the full Wagner–Fischer dynamic program.
+* :func:`edit_distance_banded` — O(k·min(|r|,|s|)) banded DP returning the
+  distance when it is ``<= k`` and ``k + 1`` otherwise.
+* :func:`edit_distance_within` — boolean threshold test with the
+  prefix-pruning early-exit of Section 6.2 (abort as soon as a full DP row
+  exceeds ``k``).
+
+All of these operate on plain Python strings; the uncertain-string layer
+dispatches per possible world.
+"""
+
+from __future__ import annotations
+
+
+def edit_distance(left: str, right: str) -> int:
+    """Levenshtein distance via the classic two-row dynamic program.
+
+    Unit costs for insertion, deletion, and substitution — the measure used
+    throughout the paper.
+    """
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    current = [0] * (len(right) + 1)
+    for i, left_char in enumerate(left, start=1):
+        current[0] = i
+        for j, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            current[j] = min(
+                previous[j] + 1,          # delete from left
+                current[j - 1] + 1,       # insert into left
+                previous[j - 1] + cost,   # substitute / match
+            )
+        previous, current = current, previous
+    return previous[len(right)]
+
+
+def edit_distance_banded(left: str, right: str, k: int) -> int:
+    """Edit distance restricted to the ``|i - j| <= k`` band.
+
+    Returns the exact distance when it is at most ``k``; otherwise returns
+    ``k + 1`` (a sentinel meaning "more than k"). Runs in
+    ``O((2k + 1) * min(|left|, |right|))``.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    length_gap = abs(len(left) - len(right))
+    if length_gap > k:
+        return k + 1
+    if left == right:
+        return 0
+    if len(left) < len(right):
+        left, right = right, left
+    n, m = len(left), len(right)
+    big = k + 1
+    # previous[j] holds D[i-1][j]; only j in [i - k, i + k] is meaningful.
+    previous = [j if j <= k else big for j in range(m + 1)]
+    for i in range(1, n + 1):
+        lo = max(1, i - k)
+        hi = min(m, i + k)
+        current = [big] * (m + 1)
+        if i <= k:
+            current[0] = i
+        row_min = current[0] if i <= k else big
+        left_char = left[i - 1]
+        for j in range(lo, hi + 1):
+            cost = 0 if left_char == right[j - 1] else 1
+            best = previous[j - 1] + cost
+            if previous[j] + 1 < best:
+                best = previous[j] + 1
+            if current[j - 1] + 1 < best:
+                best = current[j - 1] + 1
+            if best > big:
+                best = big
+            current[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min > k:
+            return big
+        previous = current
+    return previous[m] if previous[m] <= k else big
+
+
+def edit_distance_within(left: str, right: str, k: int) -> bool:
+    """True iff ``ed(left, right) <= k`` (banded DP with early exit).
+
+    This is the verification predicate applied per possible world; the
+    banded kernel already aborts as soon as a row minimum exceeds ``k``
+    (prefix pruning, Section 6.2).
+    """
+    return edit_distance_banded(left, right, k) <= k

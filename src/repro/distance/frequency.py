@@ -1,0 +1,55 @@
+"""Frequency vectors and frequency distance (Section 2.2; Kahveci–Singh).
+
+For deterministic strings ``r, s`` over alphabet Σ, the frequency distance
+
+    ``fd(r, s) = max(pD, nD)``
+    ``pD = sum over c with f(r)_c > f(s)_c of (f(r)_c - f(s)_c)``
+    ``nD = sum over c with f(r)_c < f(s)_c of (f(s)_c - f(r)_c)``
+
+lower-bounds the edit distance: ``fd(r, s) <= ed(r, s)``. The uncertain
+extension (Lemma 6 / Theorem 3) lives in :mod:`repro.filters.frequency`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+from repro.uncertain.alphabet import Alphabet
+
+
+def frequency_vector(text: str, alphabet: Alphabet | None = None) -> dict[str, int]:
+    """Character counts of ``text``.
+
+    When ``alphabet`` is given the result has an entry for every symbol
+    (zeros included) in alphabet order, matching the paper's
+    ``f(s) = [f(s)_1, ..., f(s)_sigma]``; otherwise only observed
+    characters appear.
+    """
+    counts = Counter(text)
+    if alphabet is None:
+        return dict(counts)
+    return {symbol: counts.get(symbol, 0) for symbol in alphabet}
+
+
+def positive_negative_distance(
+    left_counts: Mapping[str, int], right_counts: Mapping[str, int]
+) -> tuple[int, int]:
+    """``(pD, nD)`` between two frequency vectors (dicts keyed by char)."""
+    positive = 0
+    negative = 0
+    for char in left_counts.keys() | right_counts.keys():
+        diff = left_counts.get(char, 0) - right_counts.get(char, 0)
+        if diff > 0:
+            positive += diff
+        elif diff < 0:
+            negative -= diff
+    return positive, negative
+
+
+def frequency_distance(left: str, right: str) -> int:
+    """``fd(left, right) = max(pD, nD)``; a lower bound on edit distance."""
+    positive, negative = positive_negative_distance(
+        Counter(left), Counter(right)
+    )
+    return max(positive, negative)

@@ -1,0 +1,51 @@
+"""Exact ``Pr(ed(R, S) <= k)`` by possible-world enumeration.
+
+This is the semantic ground truth for (k, τ)-matching (Section 1):
+
+    ``Pr(ed(R, S) <= k) = sum over worlds pw_{i,j} with ed(r_i, s_j) <= k
+    of p(r_i) * p(s_j)``
+
+It is exponential in the number of uncertain positions and exists as the
+reference against which the trie/naive verifiers and every filter bound are
+tested. For production verification use :mod:`repro.verify`.
+"""
+
+from __future__ import annotations
+
+from repro.distance.edit import edit_distance_banded
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import enumerate_worlds
+
+#: Enumeration guard (joint worlds).
+DEFAULT_PAIR_LIMIT = 2_000_000
+
+
+def edit_similarity_probability(
+    left: UncertainString,
+    right: UncertainString,
+    k: int,
+    pair_limit: int | None = DEFAULT_PAIR_LIMIT,
+) -> float:
+    """Exact probability that the edit distance is at most ``k``.
+
+    Uses the banded kernel per world pair, and skips entirely when the
+    length gap already exceeds ``k`` (all worlds share the strings'
+    lengths under the character-level model).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if abs(len(left) - len(right)) > k:
+        return 0.0
+    left_worlds = list(enumerate_worlds(left, limit=None))
+    right_worlds = list(enumerate_worlds(right, limit=None))
+    if pair_limit is not None and len(left_worlds) * len(right_worlds) > pair_limit:
+        raise ValueError(
+            f"refusing to enumerate {len(left_worlds) * len(right_worlds)} world "
+            f"pairs (limit {pair_limit})"
+        )
+    total = 0.0
+    for left_text, left_prob in left_worlds:
+        for right_text, right_prob in right_worlds:
+            if edit_distance_banded(left_text, right_text, k) <= k:
+                total += left_prob * right_prob
+    return total

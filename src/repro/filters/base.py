@@ -1,0 +1,42 @@
+"""Shared filter vocabulary.
+
+Every filter reduces to a three-way verdict on a candidate pair:
+reject (provably dissimilar), accept (provably similar — only the CDF
+lower bound can do this), or undecided (pass to the next, more expensive
+stage).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FilterVerdict(enum.Enum):
+    """Outcome of applying one filter to a candidate pair."""
+
+    REJECT = "reject"
+    ACCEPT = "accept"
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """A verdict plus the bound(s) that produced it.
+
+    ``upper``/``lower`` bound ``Pr(ed(R, S) <= k)``; either may be ``None``
+    when the filter does not compute that side.
+    """
+
+    verdict: FilterVerdict
+    upper: float | None = None
+    lower: float | None = None
+    reason: str = ""
+
+    @property
+    def rejected(self) -> bool:
+        return self.verdict is FilterVerdict.REJECT
+
+    @property
+    def accepted(self) -> bool:
+        return self.verdict is FilterVerdict.ACCEPT

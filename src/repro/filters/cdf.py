@@ -1,0 +1,147 @@
+"""CDF-bound filtering (Section 6.1, Theorem 4).
+
+A dynamic program over the banded ``|R| x |S|`` grid keeps, per cell
+``(x, y)``, arrays ``L[j] <= Pr(ed(R[1..x], S[1..y]) <= j) <= U[j]`` for
+``j = 0..k``. At the final cell the bounds decide the pair:
+
+* ``L[k] > tau``  → the pair is provably similar (**accept**, skipping
+  verification);
+* ``U[k] <= tau`` → provably dissimilar (**reject**);
+* otherwise the pair goes to exact verification.
+
+The transition uses ``p1 = Pr(R[x] = S[y])`` (positionwise agreement) and
+the relaxations of Theorem 4 — which differ from Ge–Li's original bounds;
+the paper's footnote shows those can violate both sides on uncertain-
+uncertain input. Cells outside the band have ``L = U = 0`` since the edit
+distance of prefixes with length gap ``> k`` surely exceeds ``k``.
+
+Complexity: ``O(min(|R|, |S|) * (k + 1) * max(k, gamma))`` per pair.
+"""
+
+from __future__ import annotations
+
+from repro.filters.base import FilterDecision, FilterVerdict
+from repro.uncertain.string import UncertainString
+
+_Bounds = tuple[tuple[float, ...], tuple[float, ...]]
+
+
+def _boundary_cell(distance: int, k: int) -> _Bounds:
+    """Exact bounds for a cell on the top/left boundary (ed = distance)."""
+    values = tuple(1.0 if j >= distance else 0.0 for j in range(k + 1))
+    return values, values
+
+
+_ZERO_CACHE: dict[int, _Bounds] = {}
+
+
+def _zero_cell(k: int) -> _Bounds:
+    """Out-of-band cell: ``Pr(ed <= j <= k) = 0``."""
+    cached = _ZERO_CACHE.get(k)
+    if cached is None:
+        zeros = tuple(0.0 for _ in range(k + 1))
+        cached = (zeros, zeros)
+        _ZERO_CACHE[k] = cached
+    return cached
+
+
+def cdf_bounds(
+    left: UncertainString, right: UncertainString, k: int
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Theorem 4 bounds ``(L, U)`` on ``Pr(ed(left, right) <= j)``, j=0..k.
+
+    Returns the final cell's arrays. Lengths differing by more than ``k``
+    yield all-zero bounds immediately.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    n, m = len(left), len(right)
+    if abs(n - m) > k:
+        zeros = tuple(0.0 for _ in range(k + 1))
+        return zeros, zeros
+
+    zero = _zero_cell(k)
+    # previous_row[y] / current_row[y] hold cell bounds for the banded y's.
+    previous_row: dict[int, _Bounds] = {}
+    for y in range(0, min(m, k) + 1):
+        previous_row[y] = _boundary_cell(y, k)
+
+    for x in range(1, n + 1):
+        current_row: dict[int, _Bounds] = {}
+        row_mass = 0.0
+        y_lo = max(0, x - k)
+        y_hi = min(m, x + k)
+        if y_lo == 0:
+            current_row[0] = _boundary_cell(x, k)
+            y_start = 1
+        else:
+            y_start = y_lo
+        left_pos = left[x - 1]
+        for y in range(y_start, y_hi + 1):
+            diag = previous_row.get(y - 1, zero)
+            up = current_row.get(y - 1, zero)      # D2 = (x, y-1)
+            side = previous_row.get(y, zero)       # D3 = (x-1, y)
+            p1 = left_pos.agreement(right[y - 1])
+            p2 = 1.0 - p1
+            diag_l, diag_u = diag
+            up_l, up_u = up
+            side_l, side_u = side
+            # argmin D_i: neighbor with lexicographically greatest L array
+            # (greatest L[0], ties by L[1], ...) — the most-likely-smallest
+            # distance neighbor of Theorem 4.
+            best_l = max(diag_l, up_l, side_l)
+            lower = []
+            upper = []
+            for j in range(k + 1):
+                from_diag = p1 * diag_l[j]
+                from_best = p2 * best_l[j - 1] if j > 0 else 0.0
+                lower.append(max(from_diag, from_best))
+                u = p1 * diag_u[j]
+                if j > 0:
+                    u += p2 * diag_u[j - 1] + up_u[j - 1] + side_u[j - 1]
+                upper.append(min(1.0, u))
+            current_row[y] = (tuple(lower), tuple(upper))
+            row_mass += upper[k]
+        if x <= k and y_lo == 0:
+            row_mass += current_row[0][1][k]
+        # Early abort (mirror of Section 6.2's prefix pruning): once every
+        # upper bound in a row is 0, all later rows stay 0.
+        if row_mass == 0.0:
+            return zero
+        previous_row = current_row
+    final = previous_row.get(m)
+    if final is None:  # pragma: no cover - band always reaches (n, m)
+        return zero
+    return final
+
+
+class CdfBoundFilter:
+    """Theorem 4 packaged as the final pre-verification filter."""
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self.k = k
+
+    def decide(
+        self, left: UncertainString, right: UncertainString, tau: float
+    ) -> FilterDecision:
+        """Accept on ``L[k] > tau``, reject on ``U[k] <= tau``."""
+        lower, upper = cdf_bounds(left, right, self.k)
+        if lower[self.k] > tau:
+            return FilterDecision(
+                FilterVerdict.ACCEPT,
+                lower=lower[self.k],
+                upper=upper[self.k],
+                reason=f"CDF lower bound {lower[self.k]:.6g} > tau",
+            )
+        if upper[self.k] <= tau:
+            return FilterDecision(
+                FilterVerdict.REJECT,
+                lower=lower[self.k],
+                upper=upper[self.k],
+                reason=f"CDF upper bound {upper[self.k]:.6g} <= tau",
+            )
+        return FilterDecision(
+            FilterVerdict.UNDECIDED, lower=lower[self.k], upper=upper[self.k]
+        )

@@ -1,0 +1,76 @@
+"""Counting DP over independent segment-match events (Section 3.1).
+
+Given ``m`` events with probabilities ``alpha_1..alpha_m``, the paper needs
+``Pr(at least m - k of them happen)``. The recursion
+
+    ``Pr(i, j) = Pr(E_i) Pr(i-1, j-1) + (1 - Pr(E_i)) Pr(i-1, j)``
+
+is a Poisson-binomial DP; we keep one row, giving O(m^2) time and O(m)
+space (the paper notes O(m(m-k)) is possible; the row form already skips
+work above the needed count when ``top`` is passed).
+
+Because the events are only *approximately* independent when both strings
+are uncertain (adjacent segments' selection windows may overlap in ``R``),
+a dependence-free Markov alternative is provided:
+``Pr(count >= t) <= sum(alpha) / t``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def exactly_counts(alphas: Sequence[float]) -> list[float]:
+    """PMF of the number of events that happen, assuming independence.
+
+    Returns ``P[y] = Pr(exactly y events)`` for ``y = 0..len(alphas)``,
+    the paper's ``Pr(Ω_y)`` values. Callers that only need the tail
+    should use :func:`tail_probability`.
+    """
+    pmf = [1.0] + [0.0] * len(alphas)
+    filled = 0
+    for alpha in alphas:
+        if not 0.0 <= alpha <= 1.0 + 1e-12:
+            raise ValueError(f"event probability {alpha!r} outside [0, 1]")
+        alpha = min(alpha, 1.0)
+        filled += 1
+        for j in range(filled, 0, -1):
+            pmf[j] = alpha * pmf[j - 1] + (1.0 - alpha) * pmf[j]
+        pmf[0] = (1.0 - alpha) * pmf[0]
+    return pmf
+
+
+def tail_probability(alphas: Sequence[float], threshold: int) -> float:
+    """``Pr(count >= threshold)`` under independence.
+
+    ``threshold <= 0`` returns 1 (the requirement is vacuous). This is the
+    quantity of Theorem 2: the upper bound on ``Pr(ed(R, S) <= k)`` with
+    ``threshold = m - k``. For ``threshold == 1`` it reduces to the closed
+    form ``1 - prod(1 - alpha_x)`` of Lemma 3/5.
+    """
+    m = len(alphas)
+    if threshold <= 0:
+        return 1.0
+    if threshold > m:
+        return 0.0
+    if threshold == 1:
+        survive = 1.0
+        for alpha in alphas:
+            survive *= 1.0 - min(max(alpha, 0.0), 1.0)
+        return min(1.0, max(0.0, 1.0 - survive))
+    pmf = exactly_counts(alphas)
+    tail = sum(pmf[threshold:])
+    return min(1.0, max(0.0, tail))
+
+
+def markov_tail_bound(alphas: Sequence[float], threshold: int) -> float:
+    """``Pr(count >= threshold) <= E[count] / threshold`` (any dependence).
+
+    Valid without the independence assumption, hence a *safe* (if looser)
+    replacement for :func:`tail_probability` when both strings are
+    uncertain; see DESIGN.md Section 4 and the bound-mode ablation bench.
+    """
+    if threshold <= 0:
+        return 1.0
+    expected = sum(min(max(alpha, 0.0), 1.0) for alpha in alphas)
+    return min(1.0, expected / threshold)

@@ -1,0 +1,153 @@
+"""q-gram filtering integrated with probabilistic pruning (Section 3).
+
+For a pair ``(R, S)`` with ``S`` partitioned into ``m > k`` disjoint
+segments:
+
+1. *Necessary condition* (Lemmas 2/4): ``R`` must contain substrings that
+   match at least ``m - k`` segments of ``S`` with positive probability,
+   otherwise ``Pr(ed(R, S) <= k) = 0``.
+2. *Probabilistic pruning* (Theorems 1/2): ``Pr(ed(R, S) <= k)`` is upper
+   bounded by the probability that at least ``m - k`` of the segment-match
+   events happen, computed from the ``alpha_x`` by the counting DP of
+   :mod:`repro.filters.events`. If that bound is ``<= tau`` the pair is
+   pruned.
+
+This module is the *pair-at-a-time* formulation used by tests, ablations,
+and non-indexed joins; :mod:`repro.index` computes the same ``alpha_x``
+values collection-at-a-time through inverted segment indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.filters.alpha import GroupMode, segment_match_probability
+from repro.filters.base import FilterDecision, FilterVerdict
+from repro.filters.events import markov_tail_bound, tail_probability
+from repro.partition.even import partition_for
+from repro.partition.selection import SelectionMode, substring_starts
+from repro.uncertain.string import UncertainString
+
+BoundMode = Literal["paper", "markov"]
+
+
+@dataclass(frozen=True)
+class QGramOutcome:
+    """Everything the q-gram filter computed for one pair.
+
+    ``alphas`` has one entry per segment of ``S``; ``matched_segments``
+    counts the positive ones; ``required`` is the pigeonhole threshold
+    ``m - k``; ``upper`` is the Theorem 2 bound (1.0 when ``required <= 0``
+    and the filter is vacuous).
+    """
+
+    alphas: tuple[float, ...]
+    matched_segments: int
+    required: int
+    upper: float
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.alphas)
+
+    def decision(self, tau: float) -> FilterDecision:
+        """Reject when the necessary condition or the bound fails ``tau``."""
+        if self.matched_segments < self.required:
+            return FilterDecision(
+                FilterVerdict.REJECT,
+                upper=0.0,
+                reason=f"only {self.matched_segments} of >= {self.required} "
+                "segments matched (Lemma 4)",
+            )
+        if self.upper <= tau:
+            return FilterDecision(
+                FilterVerdict.REJECT,
+                upper=self.upper,
+                reason=f"Theorem 2 upper bound {self.upper:.6g} <= tau",
+            )
+        return FilterDecision(FilterVerdict.UNDECIDED, upper=self.upper)
+
+
+class QGramFilter:
+    """Pair-at-a-time q-gram filter with probabilistic pruning.
+
+    Parameters mirror the paper: ``q`` (segment length target), ``k``
+    (edit threshold). ``selection`` picks the substring-selection window,
+    ``group_mode`` the overlap-group probability estimator, and
+    ``bound_mode`` the tail bound ("paper" = independence DP,
+    "markov" = dependence-free bound; see DESIGN.md).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        q: int = 3,
+        selection: SelectionMode = "shift",
+        group_mode: GroupMode = "exact",
+        bound_mode: BoundMode = "paper",
+    ) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if q <= 0:
+            raise ValueError(f"q must be positive, got {q}")
+        if bound_mode not in ("paper", "markov"):
+            raise ValueError(f"unknown bound mode {bound_mode!r}")
+        self.k = k
+        self.q = q
+        self.selection = selection
+        self.group_mode = group_mode
+        self.bound_mode = bound_mode
+
+    def evaluate(self, left: UncertainString, right: UncertainString) -> QGramOutcome:
+        """Compute ``alpha_x`` for every segment of ``right`` against ``left``.
+
+        ``left`` plays the role of ``R`` (substring side), ``right`` of
+        ``S`` (partitioned side).
+        """
+        if len(right) == 0:
+            # No segments to match: the pigeonhole is vacuous (as for any
+            # string shorter than k + 1).
+            return QGramOutcome(
+                alphas=(), matched_segments=0, required=-self.k, upper=1.0
+            )
+        segments = partition_for(len(right), self.q, self.k)
+        m = len(segments)
+        alphas: list[float] = []
+        for segment in segments:
+            starts = substring_starts(
+                segment, len(left), len(right), self.k, m, self.selection
+            )
+            if not starts:
+                alphas.append(0.0)
+                continue
+            piece = right.substring(segment.start, segment.length)
+            alphas.append(
+                segment_match_probability(left, starts, piece, self.group_mode)
+            )
+        required = m - self.k
+        matched = sum(1 for alpha in alphas if alpha > 0.0)
+        if required <= 0:
+            upper = 1.0
+        elif matched < required:
+            upper = 0.0
+        elif self.bound_mode == "markov":
+            upper = markov_tail_bound(alphas, required)
+        else:
+            upper = tail_probability(alphas, required)
+        return QGramOutcome(
+            alphas=tuple(alphas),
+            matched_segments=matched,
+            required=required,
+            upper=upper,
+        )
+
+    def decide(
+        self, left: UncertainString, right: UncertainString, tau: float
+    ) -> FilterDecision:
+        """Length check + Lemma 4 + Theorem 2 in one call."""
+        if abs(len(left) - len(right)) > self.k:
+            return FilterDecision(
+                FilterVerdict.REJECT, upper=0.0, reason="length gap exceeds k"
+            )
+        return self.evaluate(left, right).decision(tau)

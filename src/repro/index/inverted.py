@@ -1,0 +1,214 @@
+"""The segment inverted index ``L^x_l`` (Section 4).
+
+For every string length ``l`` present in the collection and every segment
+position ``x`` of the canonical (q, k) partition of that length, the index
+stores a mapping from deterministic segment instances ``w`` to the posting
+list ``L^x_l(w) = [(string id, Pr(w = S_i^x)), ...]`` sorted by id. A
+string id appears at most once per list and in as many lists of ``L^x_l``
+as its segment has instances.
+
+Strings are inserted in ascending id order by the join driver *after*
+being queried, so posting lists stay sorted by construction and no pair is
+enumerated twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.filters.alpha import GroupMode, equivalent_substring_set
+from repro.filters.events import markov_tail_bound, tail_probability
+from repro.index.merge import join_sorted_lists, merge_weighted_postings
+from repro.partition.even import Segment, partition_for
+from repro.partition.selection import SelectionMode, substring_starts
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import enumerate_worlds
+
+
+@dataclass(frozen=True)
+class IndexCandidate:
+    """One candidate produced by an index probe.
+
+    ``alphas`` holds the segment match probabilities for the candidate's
+    partition (zeros for unmatched segments); ``upper`` is the Theorem 2
+    bound computed from them.
+    """
+
+    string_id: int
+    alphas: tuple[float, ...]
+    matched_segments: int
+    required: int
+    upper: float
+
+
+class SegmentInvertedIndex:
+    """Incremental inverted index over segment instances.
+
+    Parameters
+    ----------
+    k, q:
+        Edit threshold and segment length target; they determine the
+        canonical partition of every length.
+    selection, group_mode, bound_mode:
+        Substring-selection window, overlap-group estimator, and tail
+        bound, as in :class:`repro.filters.qgram.QGramFilter`.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        q: int = 3,
+        selection: SelectionMode = "shift",
+        group_mode: GroupMode = "exact",
+        bound_mode: str = "paper",
+    ) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if q <= 0:
+            raise ValueError(f"q must be positive, got {q}")
+        self.k = k
+        self.q = q
+        self.selection = selection
+        self.group_mode = group_mode
+        self.bound_mode = bound_mode
+        # (length, segment index x) -> instance w -> sorted postings.
+        self._lists: dict[tuple[int, int], dict[str, list[tuple[int, float]]]] = {}
+        self._partitions: dict[int, list[Segment]] = {}
+        self._ids_by_length: dict[int, list[int]] = {}
+        self._indexed_lengths: set[int] = set()
+        self._entry_count = 0
+        self._last_id: int | None = None
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def partition_of(self, length: int) -> list[Segment]:
+        """Canonical (q, k) partition of strings with ``length``.
+
+        Zero-length strings have no segments; they flow through the
+        vacuous-pigeonhole path like other strings shorter than k + 1.
+        """
+        partition = self._partitions.get(length)
+        if partition is None:
+            partition = [] if length == 0 else partition_for(length, self.q, self.k)
+            self._partitions[length] = partition
+        return partition
+
+    def add(self, string_id: int, string: UncertainString) -> None:
+        """Insert ``string``'s segment instances; ids must be ascending."""
+        if self._last_id is not None and string_id <= self._last_id:
+            raise ValueError(
+                f"string ids must be inserted in ascending order "
+                f"({string_id} after {self._last_id})"
+            )
+        self._last_id = string_id
+        length = len(string)
+        self._indexed_lengths.add(length)
+        self._ids_by_length.setdefault(length, []).append(string_id)
+        for segment in self.partition_of(length):
+            lists = self._lists.setdefault((length, segment.index), {})
+            piece = string.substring(segment.start, segment.length)
+            for word, prob in enumerate_worlds(piece, limit=None):
+                if prob > 0.0:
+                    lists.setdefault(word, []).append((string_id, prob))
+                    self._entry_count += 1
+
+    @property
+    def entry_count(self) -> int:
+        """Total posting entries — the Figure 7 index-size measure."""
+        return self._entry_count
+
+    @property
+    def indexed_lengths(self) -> set[int]:
+        """String lengths currently present in the index."""
+        return set(self._indexed_lengths)
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+
+    def query(self, query: UncertainString, tau: float) -> list[IndexCandidate]:
+        """All indexed candidates ``S_i`` that survive Lemma 5 + Theorem 2.
+
+        Only lengths within ``k`` of ``|query|`` are probed. For each such
+        length the query's equivalent substring sets are built once per
+        segment and merged against the posting lists with top-pointer
+        scans; candidates failing the ``>= m - k`` count or whose bound is
+        ``<= tau`` are pruned here.
+        """
+        out: list[IndexCandidate] = []
+        for length in sorted(self._indexed_lengths):
+            if abs(length - len(query)) > self.k:
+                continue
+            out.extend(self._query_length(query, length, tau))
+        return out
+
+    def _query_length(
+        self, query: UncertainString, length: int, tau: float
+    ) -> list[IndexCandidate]:
+        segments = self.partition_of(length)
+        m = len(segments)
+        required = m - self.k
+        if required <= 0:
+            # Strings shorter than k + 1: the pigeonhole gives no pruning
+            # power, so every indexed string of this length is a candidate.
+            return [
+                IndexCandidate(
+                    string_id=string_id,
+                    alphas=(0.0,) * m,
+                    matched_segments=0,
+                    required=required,
+                    upper=1.0,
+                )
+                for string_id in self._ids_by_length.get(length, [])
+            ]
+        per_segment: list[list[tuple[int, float]]] = []
+        survivors_possible = 0
+        for segment in segments:
+            lists = self._lists.get((length, segment.index))
+            merged: list[tuple[int, float]] = []
+            if lists:
+                starts = substring_starts(
+                    segment, len(query), length, self.k, m, self.selection
+                )
+                if starts:
+                    equivalent = equivalent_substring_set(
+                        query, starts, segment.length, self.group_mode
+                    )
+                    weighted = [
+                        (weight, lists[word])
+                        for word, weight in equivalent.items()
+                        if word in lists
+                    ]
+                    if weighted:
+                        merged = merge_weighted_postings(weighted)
+            per_segment.append(merged)
+            if merged:
+                survivors_possible += 1
+        if survivors_possible < required:
+            return []
+        candidates: list[IndexCandidate] = []
+        for string_id, entries in join_sorted_lists(per_segment):
+            matched = sum(1 for _, alpha in entries if alpha > 0.0)
+            if matched < required:
+                continue
+            alphas = [0.0] * m
+            for segment_offset, alpha in entries:
+                alphas[segment_offset] = min(1.0, alpha)
+            if self.bound_mode == "markov":
+                upper = markov_tail_bound(alphas, required)
+            else:
+                upper = tail_probability(alphas, required)
+            if upper <= tau:
+                continue
+            candidates.append(
+                IndexCandidate(
+                    string_id=string_id,
+                    alphas=tuple(alphas),
+                    matched_segments=matched,
+                    required=required,
+                    upper=upper,
+                )
+            )
+        return candidates

@@ -1,0 +1,78 @@
+"""Sorted-posting merges with "top pointers" (Section 4).
+
+The paper scans the inverted lists ``L^x_l(w)`` for all ``w in q(r, x)`` in
+parallel: at each step the minimum string-id among the list heads is
+popped, its ``alpha_x`` contribution accumulated from every list currently
+headed by that id, and the corresponding top pointers advanced. A second
+merge across the per-segment result lists ``L_{alpha_x}`` counts, per
+string id, how many segments matched. Both are classic k-way merges,
+implemented here with a heap over the list heads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+#: A posting: (string id, probability attached to this id in this list).
+Posting = tuple[int, float]
+
+
+def merge_weighted_postings(
+    lists: Sequence[tuple[float, Sequence[Posting]]],
+) -> list[Posting]:
+    """Union-merge weighted posting lists into ``(id, sum of weight*prob)``.
+
+    ``lists`` holds ``(weight, postings)`` pairs — weight is ``p_r(w)`` for
+    the substring the list belongs to, and each posting carries
+    ``Pr(w = S_i^x)``. Output is sorted by string id; each id appears once
+    with its accumulated ``alpha_x`` contribution.
+    """
+    heap: list[tuple[int, int, int]] = []
+    for which, (weight, postings) in enumerate(lists):
+        if postings:
+            heap.append((postings[0][0], which, 0))
+    heapq.heapify(heap)
+    merged: list[Posting] = []
+    while heap:
+        current_id = heap[0][0]
+        alpha = 0.0
+        while heap and heap[0][0] == current_id:
+            _, which, offset = heapq.heappop(heap)
+            weight, postings = lists[which]
+            alpha += weight * postings[offset][1]
+            offset += 1
+            if offset < len(postings):
+                heapq.heappush(heap, (postings[offset][0], which, offset))
+        merged.append((current_id, alpha))
+    return merged
+
+
+def join_sorted_lists(
+    lists: Sequence[Sequence[Posting]],
+) -> list[tuple[int, list[tuple[int, float]]]]:
+    """Merge per-segment ``L_{alpha_x}`` lists, tagging values by segment.
+
+    Returns, per string id in ascending order, the list of
+    ``(segment index, alpha_x)`` pairs for segments in which the id
+    appeared — exactly the information needed to count matched segments
+    (Lemma 5) and to feed the Theorem 2 DP.
+    """
+    heap: list[tuple[int, int, int]] = []
+    for which, postings in enumerate(lists):
+        if postings:
+            heap.append((postings[0][0], which, 0))
+    heapq.heapify(heap)
+    joined: list[tuple[int, list[tuple[int, float]]]] = []
+    while heap:
+        current_id = heap[0][0]
+        entries: list[tuple[int, float]] = []
+        while heap and heap[0][0] == current_id:
+            _, which, offset = heapq.heappop(heap)
+            postings = lists[which]
+            entries.append((which, postings[offset][1]))
+            offset += 1
+            if offset < len(postings):
+                heapq.heappush(heap, (postings[offset][0], which, offset))
+        joined.append((current_id, entries))
+    return joined

@@ -1,0 +1,72 @@
+"""Save/load for segment inverted indexes.
+
+A search service should not rebuild its index on every restart
+(instantiating every segment of every string is the expensive part of
+index construction). The on-disk format is a single JSON document —
+portable, diffable, and forward-checked by a format version.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.index.inverted import SegmentInvertedIndex
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def save_index(index: SegmentInvertedIndex, path: str | Path) -> None:
+    """Serialize ``index`` (postings and configuration) to ``path``."""
+    lists = {
+        f"{length}:{segment}": postings
+        for (length, segment), postings in index._lists.items()
+    }
+    document = {
+        "format": FORMAT_VERSION,
+        "k": index.k,
+        "q": index.q,
+        "selection": index.selection,
+        "group_mode": index.group_mode,
+        "bound_mode": index.bound_mode,
+        "last_id": index._last_id,
+        "ids_by_length": {
+            str(length): ids for length, ids in index._ids_by_length.items()
+        },
+        "lists": lists,
+    }
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def load_index(path: str | Path) -> SegmentInvertedIndex:
+    """Reconstruct an index saved by :func:`save_index`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = document.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported index format {version!r} (expected {FORMAT_VERSION})"
+        )
+    index = SegmentInvertedIndex(
+        k=document["k"],
+        q=document["q"],
+        selection=document["selection"],
+        group_mode=document["group_mode"],
+        bound_mode=document["bound_mode"],
+    )
+    entry_count = 0
+    for key, postings in document["lists"].items():
+        length_text, _, segment_text = key.partition(":")
+        lists = index._lists.setdefault(
+            (int(length_text), int(segment_text)), {}
+        )
+        for word, entries in postings.items():
+            lists[word] = [(int(i), float(p)) for i, p in entries]
+            entry_count += len(entries)
+    for length_text, ids in document["ids_by_length"].items():
+        length = int(length_text)
+        index._ids_by_length[length] = list(ids)
+        index._indexed_lengths.add(length)
+    index._entry_count = entry_count
+    index._last_id = document["last_id"]
+    return index

@@ -1,0 +1,24 @@
+"""Even partitioning and position-aware substring selection (Section 2.1).
+
+These are the Pass-Join [14, 15] building blocks the paper reuses: a string
+``s`` is split into ``m`` disjoint segments, and for each segment only a
+small window of substrings of the other string needs to be tested for a
+match (the "position aware" selection whose size is bounded by ``k + 1``).
+"""
+
+from repro.partition.even import Segment, even_partition, partition_for, segment_count
+from repro.partition.selection import (
+    SelectionMode,
+    selection_start_range,
+    substring_starts,
+)
+
+__all__ = [
+    "Segment",
+    "even_partition",
+    "partition_for",
+    "segment_count",
+    "SelectionMode",
+    "selection_start_range",
+    "substring_starts",
+]

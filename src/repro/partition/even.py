@@ -1,0 +1,77 @@
+"""Even-partition scheme (Section 4).
+
+The paper fixes a system parameter ``q`` and divides each string of length
+``l`` into ``m = max(k + 1, floor(l / q))`` disjoint segments using an even
+partition: when ``m = floor(l / q)`` the last ``l - m * q`` segments have
+length ``q + 1`` and the rest have length ``q``. We implement the general
+even split (first segments get ``floor(l / m)``, the last ``l mod m`` get
+one extra), which reduces to the paper's formula in that case and also
+covers the short-string regime where ``k + 1 > floor(l / q)``.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Segment(NamedTuple):
+    """One partition segment: 0-based ``start`` and ``length``.
+
+    ``index`` is the 1-based segment number ``x`` used by the paper's
+    formulas (multi-match-aware selection needs it).
+    """
+
+    index: int
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """Exclusive end offset."""
+        return self.start + self.length
+
+
+def segment_count(length: int, q: int, k: int) -> int:
+    """``m = max(k + 1, floor(length / q))`` clamped to ``[1, length]``.
+
+    Clamping to ``length`` keeps every segment non-empty for strings shorter
+    than ``k + 1``; in that regime ``m <= k`` so the pigeonhole requirement
+    ``>= m - k`` matches is vacuous and the q-gram filter passes everything
+    (safe, merely not selective).
+    """
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    m = max(k + 1, length // q)
+    return max(1, min(m, length))
+
+
+def even_partition(length: int, m: int) -> list[Segment]:
+    """Split ``[0, length)`` into ``m`` contiguous, nearly equal segments.
+
+    The first ``m - (length mod m)`` segments have length
+    ``floor(length / m)`` and the remaining ones one extra, so segment
+    lengths differ by at most 1 and later segments are never shorter —
+    matching the paper's "last segments have length q + 1" convention.
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    if length < m:
+        raise ValueError(f"cannot split length {length} into {m} non-empty segments")
+    base = length // m
+    extra = length % m
+    segments: list[Segment] = []
+    start = 0
+    for x in range(1, m + 1):
+        seg_len = base + (1 if x > m - extra else 0)
+        segments.append(Segment(index=x, start=start, length=seg_len))
+        start += seg_len
+    return segments
+
+
+def partition_for(length: int, q: int, k: int) -> list[Segment]:
+    """Partition a string of ``length`` per the paper's policy for (q, k)."""
+    return even_partition(length, segment_count(length, q, k))

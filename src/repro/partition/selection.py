@@ -1,0 +1,80 @@
+"""Position-aware substring selection (Section 2.1, after Pass-Join [14]).
+
+Given a segment of ``s`` starting at (0-based) position ``p`` and a string
+``r`` with length gap ``delta = |r| - |s|``, a preserved segment can only
+re-appear in ``r`` at a start position shifted by the net
+insertions-minus-deletions occurring before it. With at most ``k`` edits
+total, the shift lies in ``[-floor((k - delta) / 2), floor((k + delta) / 2)]``
+— the paper's selection window, at most ``k + 1`` candidate substrings per
+segment.
+
+Three modes are provided:
+
+* ``"shift"`` — the window above (the paper's stated formula; complete).
+* ``"multimatch"`` — additionally intersects Pass-Join's multi-match-aware
+  constraint that uses the segment index (tighter, still complete for the
+  one-match pigeonhole with ``m = k + 1``; used as an ablation).
+* ``"window"`` — the loose symmetric window ``[p - k, p + k]`` that the
+  paper's Table 1 appears to use (kept to reproduce that table verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.partition.even import Segment
+
+SelectionMode = Literal["shift", "multimatch", "window"]
+
+#: All accepted selection modes, in documentation order.
+SELECTION_MODES: tuple[SelectionMode, ...] = ("shift", "multimatch", "window")
+
+
+def selection_start_range(
+    segment: Segment,
+    r_length: int,
+    s_length: int,
+    k: int,
+    m: int,
+    mode: SelectionMode = "shift",
+) -> tuple[int, int]:
+    """Inclusive 0-based start-position range ``(lo, hi)`` in ``r``.
+
+    The range is already clipped to valid window positions
+    ``[0, r_length - segment.length]``; an empty range is returned as
+    ``(0, -1)``-style ``lo > hi``.
+    """
+    if mode not in SELECTION_MODES:
+        raise ValueError(f"unknown selection mode {mode!r}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    delta = r_length - s_length
+    pos = segment.start
+    if mode == "window":
+        lo, hi = pos - k, pos + k
+    else:
+        # floor division implements the mathematical floor for negatives too.
+        lo = pos - (k - delta) // 2
+        hi = pos + (k + delta) // 2
+        if mode == "multimatch":
+            # Pass-Join multi-match-aware constraint: at most x-1 edits may
+            # precede segment x and at most m-x may follow it.
+            x = segment.index
+            lo = max(lo, pos - (x - 1), pos + delta - (m - x))
+            hi = min(hi, pos + (x - 1), pos + delta + (m - x))
+    lo = max(lo, 0)
+    hi = min(hi, r_length - segment.length)
+    return lo, hi
+
+
+def substring_starts(
+    segment: Segment,
+    r_length: int,
+    s_length: int,
+    k: int,
+    m: int,
+    mode: SelectionMode = "shift",
+) -> list[int]:
+    """The candidate start positions as a list (possibly empty)."""
+    lo, hi = selection_start_range(segment, r_length, s_length, k, m, mode)
+    return list(range(lo, hi + 1))

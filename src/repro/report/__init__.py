@@ -1,0 +1,11 @@
+"""Plain-text reporting: aligned tables and ASCII charts.
+
+Used by the benchmark harness to render paper-style series, and exposed
+publicly because join statistics are far easier to read as a table than
+as a dataclass repr.
+"""
+
+from repro.report.table import TextTable, format_table
+from repro.report.chart import bar_chart, series_chart
+
+__all__ = ["TextTable", "format_table", "bar_chart", "series_chart"]

@@ -1,0 +1,78 @@
+"""ASCII charts for benchmark series.
+
+Good enough to eyeball the *shape* of a figure (who wins, where curves
+cross) straight from a terminal or a results file, which is exactly what
+EXPERIMENTS.md needs to compare against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def bar_chart(
+    values: Mapping[str, float], width: int = 50, unit: str = ""
+) -> str:
+    """Horizontal bars, one per labeled value, scaled to ``width``."""
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    peak = max(values.values())
+    if peak < 0:
+        raise ValueError("bar_chart expects non-negative values")
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError("bar_chart expects non-negative values")
+        bar = "#" * (round(value / peak * width) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Multiple y-series over shared x-values on one ASCII grid.
+
+    Each series gets a mark from ``oxt*...``; the legend maps marks back
+    to names. Y is linearly scaled to [0, max]; points overwrite earlier
+    marks at the same cell (later series win).
+    """
+    if not series:
+        raise ValueError("series_chart needs at least one series")
+    if height < 2 or width < 2:
+        raise ValueError("chart must be at least 2x2")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x-values"
+            )
+    if len(x_values) < 2:
+        raise ValueError("need at least two x-values")
+    y_max = max(max(ys) for ys in series.values())
+    y_max = y_max if y_max > 0 else 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in zip(x_values, ys):
+            col = round((x - x_min) / span * (width - 1))
+            row = height - 1 - round(y / y_max * (height - 1))
+            grid[row][col] = mark
+    lines = [f"{y_max:.4g} ^"]
+    lines.extend("      |" + "".join(row).rstrip() for row in grid)
+    lines.append("      +" + "-" * width + f"> x in [{x_min:g}, {x_max:g}]")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"      {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Aligned plain-text tables."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _render(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+class TextTable:
+    """Accumulate rows, render once with per-column alignment.
+
+    Numeric columns are right-aligned, text columns left-aligned; column
+    types are inferred from the data.
+    """
+
+    def __init__(self, columns: Sequence[str], precision: int = 4) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError("column names must be distinct")
+        self.columns = list(columns)
+        self.precision = precision
+        self._rows: list[list[str]] = []
+        self._numeric = [True] * len(columns)
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Add one row, positionally or by column name (not both)."""
+        if values and named:
+            raise ValueError("pass positional values or named values, not both")
+        if named:
+            unknown = set(named) - set(self.columns)
+            if unknown:
+                raise ValueError(f"unknown columns {sorted(unknown)}")
+            values = tuple(named.get(column, "") for column in self.columns)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        rendered = []
+        for i, value in enumerate(values):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                self._numeric[i] = False
+            rendered.append(_render(value, self.precision))
+        self._rows.append(rendered)
+
+    def render(self) -> str:
+        """The table as a string with a header rule."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        header = "  ".join(
+            name.rjust(w) if numeric else name.ljust(w)
+            for name, w, numeric in zip(self.columns, widths, self._numeric)
+        )
+        lines.append(header.rstrip())
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self._rows:
+            line = "  ".join(
+                cell.rjust(w) if numeric else cell.ljust(w)
+                for cell, w, numeric in zip(row, widths, self._numeric)
+            )
+            lines.append(line.rstrip())
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    rows: Iterable[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+) -> str:
+    """Render dict rows as an aligned table.
+
+    ``columns`` defaults to the keys of the first row, in order.
+    """
+    rows = list(rows)
+    if columns is None:
+        if not rows:
+            raise ValueError("cannot infer columns from zero rows")
+        columns = list(rows[0].keys())
+    table = TextTable(columns, precision=precision)
+    for row in rows:
+        table.add_row(**{k: v for k, v in row.items() if k in columns})
+    return table.render()

@@ -1,0 +1,41 @@
+"""Character-level uncertain strings: the data model of the paper (Section 1).
+
+The central type is :class:`UncertainString`: a sequence of
+:class:`UncertainPosition` objects, each a discrete distribution over the
+alphabet. Possible-world enumeration, sampling, and the textual
+``A{(C,0.5),(G,0.5)}T`` format live in this package too.
+"""
+
+from repro.uncertain.alphabet import Alphabet, DNA, PROTEIN22, LOWERCASE27
+from repro.uncertain.position import UncertainPosition
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import (
+    enumerate_worlds,
+    enumerate_joint_worlds,
+    world_count,
+    sample_world,
+)
+from repro.uncertain.parser import parse_uncertain, format_uncertain
+from repro.uncertain.string_level import (
+    StringLevelUncertain,
+    from_character_level,
+    to_character_level,
+)
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "PROTEIN22",
+    "LOWERCASE27",
+    "UncertainPosition",
+    "UncertainString",
+    "enumerate_worlds",
+    "enumerate_joint_worlds",
+    "world_count",
+    "sample_world",
+    "parse_uncertain",
+    "format_uncertain",
+    "StringLevelUncertain",
+    "from_character_level",
+    "to_character_level",
+]

@@ -1,0 +1,77 @@
+"""Alphabets (Σ) for uncertain strings.
+
+The paper evaluates on two alphabets: dblp author names (|Σ| = 27,
+lowercase letters plus space) and a protein alphabet (|Σ| = 22, the 20
+standard amino acids plus selenocysteine U and pyrrolysine O). DNA is
+included because the paper's running examples (Table 1) use it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Alphabet:
+    """An ordered, immutable set of single-character symbols.
+
+    Frequency vectors (:mod:`repro.distance.frequency`) index counts by the
+    position of a symbol in this ordering, mirroring the paper's
+    ``f(s) = [f(s)_1, ..., f(s)_sigma]`` definition.
+    """
+
+    __slots__ = ("_symbols", "_index")
+
+    def __init__(self, symbols: str) -> None:
+        if len(set(symbols)) != len(symbols):
+            raise ValueError("alphabet symbols must be distinct")
+        if not symbols:
+            raise ValueError("alphabet must not be empty")
+        if any(len(sym) != 1 for sym in symbols):
+            raise ValueError("alphabet symbols must be single characters")
+        self._symbols = tuple(symbols)
+        self._index = {sym: i for i, sym in enumerate(self._symbols)}
+
+    @property
+    def symbols(self) -> tuple[str, ...]:
+        """The symbols in index order."""
+        return self._symbols
+
+    def index(self, symbol: str) -> int:
+        """Return the index of ``symbol``; raises ``KeyError`` if absent."""
+        return self._index[symbol]
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._index
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(self._symbols)
+
+    def __repr__(self) -> str:
+        return f"Alphabet({''.join(self._symbols)!r})"
+
+    def validate_text(self, text: str) -> None:
+        """Raise ``ValueError`` if ``text`` uses symbols outside this alphabet."""
+        for ch in text:
+            if ch not in self._index:
+                raise ValueError(f"character {ch!r} not in alphabet {self!r}")
+
+
+#: The four-letter DNA alphabet used in the paper's worked examples.
+DNA = Alphabet("ACGT")
+
+#: 22-letter amino-acid alphabet (paper's protein dataset, |Σ| = 22).
+PROTEIN22 = Alphabet("ACDEFGHIKLMNPQRSTVWYUO")
+
+#: Lowercase letters plus space (paper's dblp dataset, |Σ| = 27).
+LOWERCASE27 = Alphabet("abcdefghijklmnopqrstuvwxyz ")

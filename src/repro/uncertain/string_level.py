@@ -1,0 +1,165 @@
+"""The string-level uncertainty model (Section 1; Jestes et al. [10]).
+
+A string-level uncertain string lists its possible instances explicitly:
+``{(s_1, p_1), ..., (s_n, p_n)}`` with probabilities summing to 1.
+Instances may differ in *length*, which the character-level model cannot
+express. The paper works character-level (concise, realistic) but cites
+both; the conversions here make the two interoperable:
+
+* character-level → string-level is exact (enumerate the worlds);
+* string-level → character-level is exact only when all instances share
+  one length and the per-position marginals are independent — otherwise
+  :func:`to_character_level` returns the *marginal approximation* and
+  callers opt in explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator
+
+from repro.distance.edit import edit_distance, edit_distance_banded
+from repro.uncertain.position import UncertainPosition
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import enumerate_worlds
+from repro.util.rng import ensure_rng
+
+#: Probabilities must sum to 1 within this tolerance.
+PROBABILITY_TOLERANCE = 1e-6
+
+
+class StringLevelUncertain:
+    """An explicit distribution over deterministic string instances."""
+
+    __slots__ = ("_instances",)
+
+    def __init__(self, instances: Iterable[tuple[str, float]]) -> None:
+        merged: dict[str, float] = {}
+        for text, prob in instances:
+            if prob < 0:
+                raise ValueError(f"negative probability {prob!r} for {text!r}")
+            if prob > 0:
+                merged[text] = merged.get(text, 0.0) + float(prob)
+        if not merged:
+            raise ValueError("a string-level uncertain string needs instances")
+        total = sum(merged.values())
+        if abs(total - 1.0) > PROBABILITY_TOLERANCE:
+            raise ValueError(f"instance probabilities must sum to 1 (got {total!r})")
+        normalized = [(text, prob / total) for text, prob in merged.items()]
+        normalized.sort(key=lambda item: (-item[1], item[0]))
+        self._instances = tuple(normalized)
+
+    @classmethod
+    def certain(cls, text: str) -> "StringLevelUncertain":
+        """A deterministic string as a one-instance distribution."""
+        return cls(((text, 1.0),))
+
+    @property
+    def instances(self) -> tuple[tuple[str, float], ...]:
+        """``(instance, probability)`` pairs, most probable first."""
+        return self._instances
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(self._instances)
+
+    def probability(self, text: str) -> float:
+        """``Pr(S = text)``."""
+        for instance, prob in self._instances:
+            if instance == text:
+                return prob
+        return 0.0
+
+    def lengths(self) -> set[int]:
+        """The set of instance lengths (singleton iff fixed-length)."""
+        return {len(text) for text, _ in self._instances}
+
+    def expected_length(self) -> float:
+        """``E[|S|]``."""
+        return sum(len(text) * prob for text, prob in self._instances)
+
+    def sample(self, rng: random.Random | int | None = None) -> str:
+        """Draw one instance."""
+        generator = ensure_rng(rng)
+        roll = generator.random()
+        cumulative = 0.0
+        for text, prob in self._instances:
+            cumulative += prob
+            if roll < cumulative:
+                return text
+        return self._instances[-1][0]
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"({t!r}, {p:.4g})" for t, p in self._instances[:3])
+        suffix = ", ..." if len(self._instances) > 3 else ""
+        return f"StringLevelUncertain([{body}{suffix}])"
+
+
+def from_character_level(string: UncertainString) -> StringLevelUncertain:
+    """Exact conversion: enumerate the character-level worlds."""
+    return StringLevelUncertain(enumerate_worlds(string))
+
+
+def to_character_level(
+    string: StringLevelUncertain, strict: bool = True
+) -> UncertainString:
+    """Convert to the character-level model via positional marginals.
+
+    With ``strict=True`` (default) the conversion refuses mixed-length
+    inputs and inputs whose joint distribution is not the product of its
+    marginals (i.e. where the conversion would be lossy). With
+    ``strict=False`` the marginal approximation is returned for any
+    fixed-length input.
+    """
+    lengths = string.lengths()
+    if len(lengths) != 1:
+        raise ValueError(
+            f"cannot convert mixed-length instances {sorted(lengths)} to the "
+            "character-level model"
+        )
+    (length,) = lengths
+    positions = []
+    for i in range(length):
+        pdf: dict[str, float] = {}
+        for text, prob in string:
+            pdf[text[i]] = pdf.get(text[i], 0.0) + prob
+        positions.append(UncertainPosition(pdf))
+    converted = UncertainString(positions)
+    if strict:
+        for text, prob in string:
+            if abs(converted.instance_probability(text) - prob) > 1e-9:
+                raise ValueError(
+                    "instance probabilities are not a product of positional "
+                    "marginals; pass strict=False for the marginal "
+                    "approximation"
+                )
+    return converted
+
+
+def similarity_probability(
+    left: StringLevelUncertain, right: StringLevelUncertain, k: int
+) -> float:
+    """``Pr(ed(left, right) <= k)`` under possible-world semantics."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    total = 0.0
+    for left_text, left_prob in left:
+        for right_text, right_prob in right:
+            if abs(len(left_text) - len(right_text)) > k:
+                continue
+            if edit_distance_banded(left_text, right_text, k) <= k:
+                total += left_prob * right_prob
+    return total
+
+
+def expected_edit_distance(
+    left: StringLevelUncertain, right: StringLevelUncertain
+) -> float:
+    """EED over explicit instance distributions (Jestes et al.)."""
+    return sum(
+        left_prob * right_prob * edit_distance(left_text, right_text)
+        for left_text, left_prob in left
+        for right_text, right_prob in right
+    )

@@ -1,0 +1,81 @@
+"""Possible-world enumeration over uncertain strings.
+
+These are the *reference* semantics: every filtering/verification component
+in the library is tested against quantities computed by brute force here.
+Enumeration is lazy (generators) so callers can stop early, but the number
+of worlds is exponential in the number of uncertain positions — use
+:func:`world_count` to budget before iterating.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.uncertain.string import UncertainString
+
+#: Guard rail: enumeration helpers refuse beyond this many worlds by default.
+DEFAULT_WORLD_LIMIT = 5_000_000
+
+
+def world_count(string: UncertainString) -> int:
+    """Number of possible worlds of ``string``."""
+    return string.world_count()
+
+
+def enumerate_worlds(
+    string: UncertainString, limit: int | None = DEFAULT_WORLD_LIMIT
+) -> Iterator[tuple[str, float]]:
+    """Yield ``(instance, probability)`` for every possible world.
+
+    Worlds are emitted in the deterministic order induced by each position's
+    most-probable-first alternative ordering. Probabilities sum to 1.
+
+    Raises ``ValueError`` when the world count exceeds ``limit`` (pass
+    ``limit=None`` to disable the guard).
+    """
+    if limit is not None:
+        count = string.world_count()
+        if count > limit:
+            raise ValueError(
+                f"refusing to enumerate {count} worlds (limit {limit}); "
+                "pass limit=None to override"
+            )
+
+    def recurse(index: int, prefix: list[str], prob: float) -> Iterator[tuple[str, float]]:
+        if index == len(string):
+            yield "".join(prefix), prob
+            return
+        for char, char_prob in string[index].items():
+            prefix.append(char)
+            yield from recurse(index + 1, prefix, prob * char_prob)
+            prefix.pop()
+
+    return recurse(0, [], 1.0)
+
+
+def enumerate_joint_worlds(
+    left: UncertainString,
+    right: UncertainString,
+    limit: int | None = DEFAULT_WORLD_LIMIT,
+) -> Iterator[tuple[str, str, float]]:
+    """Yield ``(r_instance, s_instance, joint_probability)`` over ``R × S``.
+
+    ``R`` and ``S`` are independent, so the joint probability is the product
+    ``p(r_i) * p(s_j)`` — the paper's ``pw_{i,j}`` (Section 3.2).
+    """
+    if limit is not None:
+        count = left.world_count() * right.world_count()
+        if count > limit:
+            raise ValueError(
+                f"refusing to enumerate {count} joint worlds (limit {limit}); "
+                "pass limit=None to override"
+            )
+    for left_text, left_prob in enumerate_worlds(left, limit=None):
+        for right_text, right_prob in enumerate_worlds(right, limit=None):
+            yield left_text, right_text, left_prob * right_prob
+
+
+def sample_world(string: UncertainString, rng: random.Random) -> str:
+    """Draw one world of ``string``; alias of :meth:`UncertainString.sample`."""
+    return string.sample(rng)

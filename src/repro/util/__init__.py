@@ -1,0 +1,19 @@
+"""Small shared utilities: validation helpers, RNG plumbing, timers."""
+
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+from repro.util.rng import ensure_rng
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "ensure_rng",
+    "Stopwatch",
+]

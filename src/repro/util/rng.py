@@ -1,0 +1,26 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts ``rng`` as either a
+seed, an existing ``random.Random``, or ``None`` (fresh nondeterministic
+generator); :func:`ensure_rng` normalizes all three.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def ensure_rng(rng: random.Random | int | None) -> random.Random:
+    """Return a ``random.Random`` for any accepted ``rng`` spelling.
+
+    ``None`` yields a freshly seeded generator, an ``int`` seeds a new
+    generator deterministically, and an existing generator is passed through
+    unchanged (so callers can share one stream).
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(f"rng must be None, int, or random.Random, got {type(rng).__name__}")

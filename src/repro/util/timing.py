@@ -1,0 +1,49 @@
+"""A tiny stopwatch used by the join pipeline to attribute time per stage."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulates wall-clock time across multiple start/stop intervals.
+
+    Used by :class:`repro.core.stats.JoinStatistics` to report per-filter
+    timings the way the paper's Figures 2–9 do.
+    """
+
+    def __init__(self) -> None:
+        self._elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing; returns self so it can be chained."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the total elapsed seconds so far."""
+        if self._started_at is not None:
+            self._elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self._elapsed
+
+    def add(self, seconds: float) -> None:
+        """Fold externally measured time into this stopwatch's total."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        self._elapsed += seconds
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds (including a currently running interval)."""
+        if self._started_at is not None:
+            return self._elapsed + (time.perf_counter() - self._started_at)
+        return self._elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

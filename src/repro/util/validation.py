@@ -1,0 +1,40 @@
+"""Argument-validation helpers used across the library.
+
+All validators raise ``ValueError``/``TypeError`` with messages naming the
+offending argument, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_type(value: Any, expected: type | tuple[type, ...], name: str) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )
+
+
+def check_non_negative(value: int | float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_positive(value: int | float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_probability(value: float, name: str, tolerance: float = 1e-9) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]`` (within tolerance)."""
+    if not (-tolerance <= value <= 1.0 + tolerance):
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")

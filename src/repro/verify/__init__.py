@@ -1,0 +1,35 @@
+"""Exact verification of candidate pairs (Section 6.2 and 7.7).
+
+:func:`trie_verify` implements the paper's trie-based verification: the
+trie ``T_R`` of all possible instances of ``R`` is built once (amortized
+over all candidate pairs with the same ``R``), while ``T_S`` is explored
+*on demand* — a possible-world prefix of ``S`` is expanded only while its
+active-node set in ``T_R`` is non-empty. :func:`naive_verify` is the
+all-pairs baseline used in Figure 8.
+"""
+
+from repro.verify.trie import Trie, TrieNode, build_trie
+from repro.verify.active import ActiveNodes, initial_active_nodes, advance_active_nodes
+from repro.verify.trie_verify import trie_verify, trie_verify_threshold
+from repro.verify.naive import naive_verify, naive_verify_threshold
+from repro.verify.sampling import (
+    SampledDecision,
+    sampled_verify,
+    sampled_verify_threshold,
+)
+
+__all__ = [
+    "Trie",
+    "TrieNode",
+    "build_trie",
+    "ActiveNodes",
+    "initial_active_nodes",
+    "advance_active_nodes",
+    "trie_verify",
+    "trie_verify_threshold",
+    "naive_verify",
+    "naive_verify_threshold",
+    "SampledDecision",
+    "sampled_verify",
+    "sampled_verify_threshold",
+]

@@ -1,0 +1,62 @@
+"""Naive verification: enumerate all world pairs (Section 7.7 baseline).
+
+Each possible instance of ``R`` is compared with each instance of ``S``
+using the banded, early-terminating edit-distance kernel. Quadratic in the
+world counts — this exists as the comparison point for Figure 8 and as an
+independent oracle in tests.
+"""
+
+from __future__ import annotations
+
+from repro.distance.edit import edit_distance_banded
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import enumerate_worlds
+
+
+def naive_verify(
+    left: UncertainString,
+    right: UncertainString,
+    k: int,
+) -> float:
+    """Exact ``Pr(ed(left, right) <= k)`` by all-pairs world comparison."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if abs(len(left) - len(right)) > k:
+        return 0.0
+    left_worlds = list(enumerate_worlds(left, limit=None))
+    right_worlds = list(enumerate_worlds(right, limit=None))
+    total = 0.0
+    for left_text, left_prob in left_worlds:
+        for right_text, right_prob in right_worlds:
+            if edit_distance_banded(left_text, right_text, k) <= k:
+                total += left_prob * right_prob
+    return total
+
+
+def naive_verify_threshold(
+    left: UncertainString,
+    right: UncertainString,
+    k: int,
+    tau: float,
+) -> bool:
+    """Decide ``Pr(ed <= k) > tau`` with accumulate-and-stop early exits."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if abs(len(left) - len(right)) > k:
+        return False
+    left_worlds = list(enumerate_worlds(left, limit=None))
+    right_worlds = list(enumerate_worlds(right, limit=None))
+    total = 0.0
+    missed = 0.0
+    for left_text, left_prob in left_worlds:
+        for right_text, right_prob in right_worlds:
+            joint = left_prob * right_prob
+            if edit_distance_banded(left_text, right_text, k) <= k:
+                total += joint
+                if total > tau:
+                    return True
+            else:
+                missed += joint
+                if 1.0 - missed <= tau:
+                    return False
+    return total > tau

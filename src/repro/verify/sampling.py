@@ -1,0 +1,109 @@
+"""Monte-Carlo verification (extension beyond the paper).
+
+The trie verifier is exact but its cost grows with the world count;
+beyond ~10^6 worlds per side even on-demand expansion is expensive. For
+that regime this module estimates ``p = Pr(ed(R, S) <= k)`` by sampling
+joint worlds, and decides ``p > tau`` with a Hoeffding confidence bound:
+
+    ``Pr(|p_hat - p| >= eps) <= 2 exp(-2 n eps^2)``
+
+:func:`sampled_verify_threshold` draws adaptively until the interval
+``p_hat ± eps(n, delta)`` clears ``tau`` on one side, or a sample budget
+is exhausted (returning the point estimate's side, flagged as
+low-confidence).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.distance.edit import edit_distance_banded
+from repro.uncertain.string import UncertainString
+from repro.util.rng import ensure_rng
+
+
+def sampled_verify(
+    left: UncertainString,
+    right: UncertainString,
+    k: int,
+    samples: int = 1024,
+    rng: random.Random | int | None = None,
+) -> float:
+    """Monte-Carlo estimate of ``Pr(ed(left, right) <= k)``."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    if abs(len(left) - len(right)) > k:
+        return 0.0
+    generator = ensure_rng(rng)
+    hits = 0
+    for _ in range(samples):
+        if (
+            edit_distance_banded(left.sample(generator), right.sample(generator), k)
+            <= k
+        ):
+            hits += 1
+    return hits / samples
+
+
+@dataclass(frozen=True)
+class SampledDecision:
+    """Outcome of an adaptive threshold test."""
+
+    similar: bool
+    estimate: float
+    samples: int
+    confident: bool
+
+    def __bool__(self) -> bool:
+        return self.similar
+
+
+def sampled_verify_threshold(
+    left: UncertainString,
+    right: UncertainString,
+    k: int,
+    tau: float,
+    delta: float = 1e-3,
+    batch: int = 256,
+    max_samples: int = 65_536,
+    rng: random.Random | int | None = None,
+) -> SampledDecision:
+    """Decide ``Pr(ed <= k) > tau`` with confidence ``1 - delta``.
+
+    Samples in batches; after ``n`` draws the Hoeffding radius is
+    ``eps = sqrt(ln(2/delta) / (2n))`` and the test stops as soon as
+    ``p_hat - eps > tau`` (similar) or ``p_hat + eps <= tau``
+    (dissimilar). If ``max_samples`` is reached first the point
+    estimate's side is returned with ``confident=False``.
+    """
+    if not 0.0 <= tau < 1.0:
+        raise ValueError(f"tau must be in [0, 1), got {tau}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if abs(len(left) - len(right)) > k:
+        return SampledDecision(False, 0.0, 0, True)
+    generator = ensure_rng(rng)
+    hits = 0
+    drawn = 0
+    while drawn < max_samples:
+        for _ in range(min(batch, max_samples - drawn)):
+            if (
+                edit_distance_banded(
+                    left.sample(generator), right.sample(generator), k
+                )
+                <= k
+            ):
+                hits += 1
+            drawn += 1
+        estimate = hits / drawn
+        radius = math.sqrt(math.log(2.0 / delta) / (2.0 * drawn))
+        if estimate - radius > tau:
+            return SampledDecision(True, estimate, drawn, True)
+        if estimate + radius <= tau:
+            return SampledDecision(False, estimate, drawn, True)
+    estimate = hits / drawn
+    return SampledDecision(estimate > tau, estimate, drawn, False)

@@ -1,0 +1,79 @@
+"""Trie over the possible instances of an uncertain string.
+
+Because the character-level model factorizes per position, the trie of all
+instances of ``R`` is the layered product of position supports: every node
+at depth ``d`` has one child per alternative of ``R[d]``. Probabilities
+multiply down the path; a leaf (depth ``|R|``) carries the probability of
+its instance. Shared prefixes are shared nodes, which is exactly what the
+verification algorithm exploits to overlap the cost of exponentially many
+instances (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.uncertain.string import UncertainString
+
+
+class TrieNode:
+    """One trie node: children keyed by character, path probability."""
+
+    __slots__ = ("children", "prob", "depth")
+
+    def __init__(self, depth: int, prob: float) -> None:
+        self.children: dict[str, "TrieNode"] = {}
+        self.prob = prob
+        self.depth = depth
+
+    def __repr__(self) -> str:
+        return f"TrieNode(depth={self.depth}, prob={self.prob:.4g}, fanout={len(self.children)})"
+
+
+class Trie:
+    """The full instance trie of one uncertain string."""
+
+    __slots__ = ("root", "length", "node_count")
+
+    def __init__(self, root: TrieNode, length: int, node_count: int) -> None:
+        self.root = root
+        self.length = length
+        self.node_count = node_count
+
+    def leaves(self) -> Iterator[tuple[str, TrieNode]]:
+        """Iterate ``(instance, leaf node)`` pairs."""
+
+        def walk(node: TrieNode, prefix: list[str]) -> Iterator[tuple[str, TrieNode]]:
+            if node.depth == self.length:
+                yield "".join(prefix), node
+                return
+            for char, child in node.children.items():
+                prefix.append(char)
+                yield from walk(child, prefix)
+                prefix.pop()
+
+        return walk(self.root, [])
+
+
+def build_trie(string: UncertainString) -> Trie:
+    """Materialize the instance trie ``T_R`` of ``string``.
+
+    Nodes are created level by level; the node count is
+    ``1 + sum over depths of the number of distinct prefixes`` and grows
+    with the number of uncertain positions — callers should budget with
+    :meth:`UncertainString.world_count` first for extreme inputs.
+    """
+    root = TrieNode(depth=0, prob=1.0)
+    frontier = [root]
+    node_count = 1
+    for depth, position in enumerate(string, start=1):
+        next_frontier: list[TrieNode] = []
+        alternatives = list(position.items())
+        for node in frontier:
+            for char, char_prob in alternatives:
+                child = TrieNode(depth=depth, prob=node.prob * char_prob)
+                node.children[char] = child
+                next_frontier.append(child)
+        node_count += len(next_frontier)
+        frontier = next_frontier
+    return Trie(root=root, length=len(string), node_count=node_count)

@@ -1,0 +1,127 @@
+"""Shared test utilities: random uncertain strings and hypothesis strategies."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.uncertain.alphabet import Alphabet
+from repro.uncertain.position import UncertainPosition
+from repro.uncertain.string import UncertainString
+
+SMALL_ALPHABET = Alphabet("ACGT")
+
+
+def random_uncertain(
+    rng: random.Random,
+    length: int,
+    theta: float = 0.3,
+    gamma: int = 2,
+    alphabet: Alphabet = SMALL_ALPHABET,
+    max_uncertain: int | None = None,
+) -> UncertainString:
+    """A random uncertain string with roughly ``theta`` uncertain positions."""
+    symbols = alphabet.symbols
+    positions = []
+    uncertain_budget = max_uncertain if max_uncertain is not None else length
+    for _ in range(length):
+        if uncertain_budget > 0 and rng.random() < theta:
+            support_size = min(rng.randint(2, max(2, gamma)), len(symbols))
+            chars = rng.sample(symbols, support_size)
+            weights = [rng.random() + 0.05 for _ in chars]
+            total = sum(weights)
+            positions.append(
+                UncertainPosition({c: w / total for c, w in zip(chars, weights)})
+            )
+            uncertain_budget -= 1
+        else:
+            positions.append(UncertainPosition.certain(rng.choice(symbols)))
+    return UncertainString(positions)
+
+
+def random_collection(
+    rng: random.Random,
+    count: int,
+    length_range: tuple[int, int] = (4, 8),
+    theta: float = 0.3,
+    gamma: int = 2,
+    alphabet: Alphabet = SMALL_ALPHABET,
+    max_uncertain: int | None = 3,
+) -> list[UncertainString]:
+    """A random collection kept small enough for brute-force comparison."""
+    return [
+        random_uncertain(
+            rng,
+            rng.randint(*length_range),
+            theta=theta,
+            gamma=gamma,
+            alphabet=alphabet,
+            max_uncertain=max_uncertain,
+        )
+        for _ in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# hypothesis strategies
+# ----------------------------------------------------------------------
+
+def positions(alphabet: str = "ACGT", max_support: int = 3) -> st.SearchStrategy:
+    """Strategy for one uncertain position over ``alphabet``."""
+
+    def build(chars: list[str], weights: list[float]) -> UncertainPosition:
+        total = sum(weights)
+        return UncertainPosition(
+            {c: w / total for c, w in zip(chars, weights)}
+        )
+
+    def position_from_support(support: list[str]) -> st.SearchStrategy:
+        return st.lists(
+            st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+            min_size=len(support),
+            max_size=len(support),
+        ).map(lambda ws: build(support, ws))
+
+    supports = st.lists(
+        st.sampled_from(list(alphabet)),
+        min_size=1,
+        max_size=max_support,
+        unique=True,
+    )
+    return supports.flatmap(position_from_support)
+
+
+def uncertain_strings(
+    alphabet: str = "ACGT",
+    min_length: int = 1,
+    max_length: int = 6,
+    max_support: int = 3,
+    max_uncertain: int = 3,
+) -> st.SearchStrategy:
+    """Strategy for whole uncertain strings with bounded world counts."""
+
+    def clamp(string: UncertainString) -> UncertainString:
+        # Keep world counts small: flatten excess uncertain positions to
+        # their modal character.
+        kept = 0
+        out = []
+        for pos in string:
+            if pos.is_certain:
+                out.append(pos)
+            elif kept < max_uncertain:
+                out.append(pos)
+                kept += 1
+            else:
+                out.append(UncertainPosition.certain(pos.top))
+        return UncertainString(out)
+
+    return (
+        st.lists(
+            positions(alphabet, max_support),
+            min_size=min_length,
+            max_size=max_length,
+        )
+        .map(UncertainString)
+        .map(clamp)
+    )

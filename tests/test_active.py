@@ -1,0 +1,95 @@
+"""Tests for active-node sets: they must hold exact prefix edit distances."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.edit import edit_distance
+from repro.uncertain.string import UncertainString
+from repro.verify.active import advance_active_nodes, initial_active_nodes
+from repro.verify.trie import TrieNode, build_trie
+
+from tests.helpers import random_uncertain
+
+
+def trie_node_strings(trie):
+    """Map each trie node to its prefix string."""
+    out = {}
+
+    def walk(node: TrieNode, prefix: str) -> None:
+        out[node] = prefix
+        for char, child in node.children.items():
+            walk(child, prefix + char)
+
+    walk(trie.root, "")
+    return out
+
+
+def check_active_exactness(trie, query: str, k: int) -> None:
+    """Active sets must equal {v : ed(query_prefix, str(v)) <= k} exactly."""
+    strings = trie_node_strings(trie)
+    active = initial_active_nodes(trie.root, k)
+    for depth in range(len(query) + 1):
+        prefix = query[:depth]
+        expected = {
+            node: edit_distance(prefix, node_string)
+            for node, node_string in strings.items()
+            if edit_distance(prefix, node_string) <= k
+        }
+        assert active == expected, f"prefix {prefix!r}"
+        if depth < len(query):
+            active = advance_active_nodes(active, query[depth], k)
+
+
+class TestInitialActive:
+    def test_contains_nodes_up_to_depth_k(self):
+        trie = build_trie(UncertainString.from_text("ACGT"))
+        active = initial_active_nodes(trie.root, 2)
+        assert sorted(node.depth for node in active) == [0, 1, 2]
+        for node, dist in active.items():
+            assert dist == node.depth
+
+    def test_k_zero_only_root(self):
+        trie = build_trie(UncertainString.from_text("ACGT"))
+        active = initial_active_nodes(trie.root, 0)
+        assert list(active.values()) == [0]
+
+    def test_rejects_negative_k(self):
+        trie = build_trie(UncertainString.from_text("A"))
+        with pytest.raises(ValueError):
+            initial_active_nodes(trie.root, -1)
+
+
+class TestAdvanceExactness:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_deterministic_trie(self, k):
+        trie = build_trie(UncertainString.from_text("ACCGT"))
+        check_active_exactness(trie, "AGCGT", k)
+
+    @given(
+        st.text(alphabet="AC", min_size=0, max_size=6),
+        st.text(alphabet="AC", min_size=1, max_size=6),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_exact_distances_on_path_tries(self, query, target, k):
+        trie = build_trie(UncertainString.from_text(target))
+        check_active_exactness(trie, query, k)
+
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_exact_distances_on_branching_tries(self, data):
+        rng = random.Random(data.draw(st.integers(min_value=0, max_value=50_000)))
+        string = random_uncertain(rng, rng.randint(2, 5), theta=0.6, gamma=2)
+        trie = build_trie(string)
+        query = "".join(rng.choice("ACGT") for _ in range(rng.randint(0, 5)))
+        k = rng.randint(0, 2)
+        check_active_exactness(trie, query, k)
+
+    def test_empty_active_set_stays_empty(self):
+        trie = build_trie(UncertainString.from_text("AAAA"))
+        active = initial_active_nodes(trie.root, 0)
+        active = advance_active_nodes(active, "C", 0)
+        assert active == {}

@@ -1,0 +1,66 @@
+"""Tests for repro.uncertain.alphabet."""
+
+import pytest
+
+from repro.uncertain.alphabet import DNA, LOWERCASE27, PROTEIN22, Alphabet
+
+
+class TestAlphabetConstruction:
+    def test_symbols_preserved_in_order(self):
+        alpha = Alphabet("xyz")
+        assert alpha.symbols == ("x", "y", "z")
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Alphabet("aab")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            Alphabet("")
+
+    def test_rejects_multicharacter_symbols(self):
+        with pytest.raises(ValueError, match="single"):
+            Alphabet(("ab", "c"))  # type: ignore[arg-type]
+
+
+class TestAlphabetProtocol:
+    def test_index_round_trip(self):
+        alpha = Alphabet("ACGT")
+        for i, symbol in enumerate(alpha):
+            assert alpha.index(symbol) == i
+
+    def test_index_missing_raises(self):
+        with pytest.raises(KeyError):
+            DNA.index("X")
+
+    def test_contains(self):
+        assert "A" in DNA
+        assert "Z" not in DNA
+
+    def test_len(self):
+        assert len(DNA) == 4
+        assert len(PROTEIN22) == 22
+        assert len(LOWERCASE27) == 27
+
+    def test_equality_and_hash(self):
+        assert Alphabet("AC") == Alphabet("AC")
+        assert Alphabet("AC") != Alphabet("CA")
+        assert hash(Alphabet("AC")) == hash(Alphabet("AC"))
+
+    def test_validate_text_accepts_members(self):
+        DNA.validate_text("GATTACA")
+
+    def test_validate_text_rejects_outsiders(self):
+        with pytest.raises(ValueError, match="'x'"):
+            DNA.validate_text("GATxACA")
+
+
+class TestPaperAlphabets:
+    def test_dblp_alphabet_size_matches_paper(self):
+        # Section 7: dblp author names, |Sigma| = 27.
+        assert len(LOWERCASE27) == 27
+        assert " " in LOWERCASE27
+
+    def test_protein_alphabet_size_matches_paper(self):
+        # Section 7: protein dataset, |Sigma| = 22.
+        assert len(PROTEIN22) == 22

@@ -1,0 +1,91 @@
+"""Tests for the EED join and deterministic Pass-Join baselines."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.deterministic import deterministic_pass_join
+from repro.baselines.eed_join import eed_join
+from repro.distance.edit import edit_distance
+from repro.distance.eed import expected_edit_distance
+from repro.uncertain.string import UncertainString
+
+from tests.helpers import random_collection
+
+
+class TestDeterministicPassJoin:
+    def brute(self, strings, k):
+        return sorted(
+            (i, j, edit_distance(strings[i], strings[j]))
+            for i, j in itertools.combinations(range(len(strings)), 2)
+            if edit_distance(strings[i], strings[j]) <= k
+        )
+
+    @pytest.mark.parametrize("seed,k,q", [(0, 1, 2), (1, 2, 3), (2, 3, 2)])
+    def test_matches_brute_force(self, seed, k, q):
+        rng = random.Random(seed)
+        strings = [
+            "".join(rng.choice("abc") for _ in range(rng.randint(4, 10)))
+            for _ in range(25)
+        ]
+        assert deterministic_pass_join(strings, k, q) == self.brute(strings, k)
+
+    def test_duplicates(self):
+        strings = ["abc", "abc", "abd"]
+        result = deterministic_pass_join(strings, 1, 2)
+        assert {(i, j) for i, j, _ in result} == {(0, 1), (0, 2), (1, 2)}
+
+    def test_reports_distances(self):
+        result = deterministic_pass_join(["abcd", "abce"], 2, 2)
+        assert result == [(0, 1, 1)]
+
+
+class TestEedJoin:
+    def test_matches_exact_eed_threshold(self):
+        rng = random.Random(5)
+        collection = random_collection(rng, 8, length_range=(4, 6), theta=0.3)
+        k_eed = 1.5
+        outcome = eed_join(collection, k_eed)
+        expected = set()
+        for i in range(len(collection)):
+            for j in range(i + 1, len(collection)):
+                if expected_edit_distance(collection[i], collection[j]) <= k_eed:
+                    expected.add((i, j))
+        assert outcome.id_pairs() == expected
+
+    def test_reported_values_are_exact_for_small_worlds(self):
+        rng = random.Random(6)
+        collection = random_collection(rng, 6, length_range=(4, 5), theta=0.3)
+        outcome = eed_join(collection, 2.0)
+        for i, j, value in outcome.pairs:
+            assert value == pytest.approx(
+                expected_edit_distance(collection[i], collection[j]), abs=1e-9
+            )
+
+    def test_counters(self):
+        collection = [
+            UncertainString.from_text("AAAA"),
+            UncertainString.from_text("AAAC"),
+            UncertainString.from_text("GGGGGGGG"),
+        ]
+        outcome = eed_join(collection, 1.0)
+        assert outcome.pruned_by_length == 2  # pairs with the long string
+        assert outcome.candidate_evaluations == 1
+        assert outcome.id_pairs() == {(0, 1)}
+
+    def test_frequency_prune_is_safe(self):
+        # Pairs pruned by the (E[pD]+E[nD])/2 bound must truly exceed k_eed.
+        rng = random.Random(7)
+        collection = random_collection(rng, 8, length_range=(4, 6), theta=0.4)
+        k_eed = 0.5
+        outcome = eed_join(collection, k_eed)
+        reported = outcome.id_pairs()
+        for i in range(len(collection)):
+            for j in range(i + 1, len(collection)):
+                if expected_edit_distance(collection[i], collection[j]) <= k_eed:
+                    assert (i, j) in reported
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            eed_join([], -1.0)

@@ -1,0 +1,101 @@
+"""Tests for the repro-join command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.loader import load_collection
+
+
+@pytest.fixture
+def collection_file(tmp_path):
+    path = tmp_path / "names.txt"
+    assert main(
+        ["gen", "--kind", "dblp", "--count", "25", "--seed", "3", "-o", str(path)]
+    ) == 0
+    return path
+
+
+class TestGen:
+    def test_writes_collection(self, collection_file):
+        collection = load_collection(collection_file)
+        assert len(collection) == 25
+
+    def test_protein_kind(self, tmp_path):
+        path = tmp_path / "p.txt"
+        assert main(
+            ["gen", "--kind", "protein", "--count", "10", "--theta", "0.1",
+             "-o", str(path)]
+        ) == 0
+        assert len(load_collection(path)) == 10
+
+
+class TestJoin:
+    def test_join_outputs_pairs(self, collection_file, capsys):
+        assert main(
+            ["join", str(collection_file), "-k", "2", "--tau", "0.1"]
+        ) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        for line in lines:
+            left, right = line.split("\t")
+            assert int(left) < int(right)
+
+    def test_join_with_probabilities(self, collection_file, capsys):
+        assert main(
+            ["join", str(collection_file), "-k", "2", "--tau", "0.1",
+             "--probabilities"]
+        ) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        for line in lines:
+            parts = line.split("\t")
+            assert len(parts) == 3
+            assert 0.1 < float(parts[2]) <= 1.0
+
+    def test_algorithm_variants_agree(self, collection_file, capsys):
+        outputs = []
+        for algorithm in ("QFCT", "FCT"):
+            main(
+                ["join", str(collection_file), "-k", "1", "--tau", "0.2",
+                 "--algorithm", algorithm]
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_stats_on_stderr(self, collection_file, capsys):
+        main(["join", str(collection_file), "-k", "1", "--tau", "0.2", "--stats"])
+        captured = capsys.readouterr()
+        assert "result pairs" in captured.err
+
+
+class TestSearch:
+    def test_search_finds_member(self, collection_file, capsys):
+        collection = load_collection(collection_file)
+        query = collection[0].most_probable_instance()[0]
+        assert main(
+            ["search", str(collection_file), query, "-k", "2", "--tau", "0.05"]
+        ) == 0
+        hits = {int(l.split("\t")[0]) for l in capsys.readouterr().out.splitlines() if l}
+        assert 0 in hits
+
+
+class TestVerify:
+    def test_verify_prints_probability(self, capsys):
+        assert main(
+            ["verify", "banana", "ban{(a,0.7),(e,0.3)}na", "-k", "0"]
+        ) == 0
+        assert float(capsys.readouterr().out) == pytest.approx(0.7)
+
+    def test_verify_certain_pair(self, capsys):
+        main(["verify", "kitten", "sitting", "-k", "3"])
+        assert float(capsys.readouterr().out) == pytest.approx(1.0)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["join", "x.txt", "-k", "1", "--tau", "0.1", "--algorithm", "ZZ"]
+            )

@@ -1,0 +1,67 @@
+"""Tests for JoinConfig and the algorithm registry."""
+
+import pytest
+
+from repro.core.config import ALGORITHMS, JoinConfig
+
+
+class TestValidation:
+    def test_defaults_are_full_pipeline(self):
+        config = JoinConfig(k=2, tau=0.1)
+        assert config.filters == ("qgram", "frequency", "cdf")
+        assert config.verification == "trie"
+        assert config.algorithm_name == "QFCT"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": -1, "tau": 0.1},
+            {"k": 1, "tau": 1.0},
+            {"k": 1, "tau": -0.1},
+            {"k": 1, "tau": 0.1, "q": 0},
+            {"k": 1, "tau": 0.1, "filters": ("bogus",)},
+            {"k": 1, "tau": 0.1, "filters": ("qgram", "qgram")},
+            {"k": 1, "tau": 0.1, "verification": "psychic"},
+            {"k": 1, "tau": 0.1, "selection": "bogus"},
+            {"k": 1, "tau": 0.1, "group_mode": "bogus"},
+            {"k": 1, "tau": 0.1, "bound_mode": "bogus"},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            JoinConfig(**kwargs)
+
+
+class TestAlgorithmRegistry:
+    def test_paper_variants_registered(self):
+        assert set(ALGORITHMS) >= {"QFCT", "QCT", "QFT", "FCT"}
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_for_algorithm_round_trips(self, name):
+        config = JoinConfig.for_algorithm(name, k=1, tau=0.2)
+        assert config.algorithm_name == name
+        assert config.filters == ALGORITHMS[name]
+
+    def test_case_insensitive(self):
+        assert JoinConfig.for_algorithm("qfct", 1, 0.1).algorithm_name == "QFCT"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            JoinConfig.for_algorithm("ZZZ", 1, 0.1)
+
+    def test_overrides_forwarded(self):
+        config = JoinConfig.for_algorithm("QCT", 2, 0.3, q=4, verification="naive")
+        assert config.q == 4
+        assert config.verification == "naive"
+
+    def test_with_filters_copy(self):
+        config = JoinConfig(k=1, tau=0.1)
+        copy = config.with_filters(("cdf",))
+        assert copy.filters == ("cdf",)
+        assert config.filters == ("qgram", "frequency", "cdf")
+
+    def test_filter_flags(self):
+        config = JoinConfig.for_algorithm("FCT", 1, 0.1)
+        assert not config.uses_qgram
+        assert config.uses_frequency
+        assert config.uses_cdf

@@ -1,0 +1,94 @@
+"""Tests for the edit-distance kernels."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.edit import (
+    edit_distance,
+    edit_distance_banded,
+    edit_distance_within,
+)
+
+WORDS = st.text(alphabet="abc", min_size=0, max_size=10)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "left, right, expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("gumbo", "gambol", 2),
+            ("identical", "identical", 0),
+            ("abc", "cba", 2),
+            ("ab", "ba", 2),
+        ],
+    )
+    def test_known_distances(self, left, right, expected):
+        assert edit_distance(left, right) == expected
+
+    def test_symmetry(self):
+        assert edit_distance("abcde", "badec") == edit_distance("badec", "abcde")
+
+    @given(WORDS, WORDS)
+    @settings(max_examples=150)
+    def test_metric_properties(self, a, b):
+        d = edit_distance(a, b)
+        assert d == edit_distance(b, a)
+        assert (d == 0) == (a == b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(WORDS, WORDS, WORDS)
+    @settings(max_examples=100)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(WORDS, WORDS, st.text(alphabet="abc", min_size=1, max_size=3))
+    @settings(max_examples=100)
+    def test_prefix_append_changes_distance_boundedly(self, a, b, suffix):
+        base = edit_distance(a, b)
+        assert edit_distance(a + suffix, b) <= base + len(suffix)
+
+
+class TestBandedKernel:
+    @given(WORDS, WORDS, st.integers(min_value=0, max_value=5))
+    @settings(max_examples=200)
+    def test_agrees_with_full_dp(self, a, b, k):
+        full = edit_distance(a, b)
+        banded = edit_distance_banded(a, b, k)
+        if full <= k:
+            assert banded == full
+        else:
+            assert banded == k + 1
+
+    def test_length_gap_shortcut(self):
+        assert edit_distance_banded("a", "abcdef", 2) == 3
+
+    def test_k_zero_is_equality_test(self):
+        assert edit_distance_banded("abc", "abc", 0) == 0
+        assert edit_distance_banded("abc", "abd", 0) == 1
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            edit_distance_banded("a", "b", -1)
+
+
+class TestWithinPredicate:
+    @given(WORDS, WORDS, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=150)
+    def test_matches_definition(self, a, b, k):
+        assert edit_distance_within(a, b, k) == (edit_distance(a, b) <= k)
+
+    def test_early_termination_on_long_dissimilar_strings(self):
+        # Behavior check (timing is benchmarked, not asserted): wildly
+        # different long strings must come back False.
+        rng = random.Random(0)
+        a = "".join(rng.choice("ab") for _ in range(500))
+        b = "".join(rng.choice("yz") for _ in range(500))
+        assert not edit_distance_within(a, b, 3)

@@ -1,0 +1,54 @@
+"""Tests for expected edit distance (the Jestes et al. measure)."""
+
+import pytest
+
+from repro.distance.eed import expected_edit_distance, sampled_expected_edit_distance
+from repro.distance.edit import edit_distance
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import enumerate_joint_worlds
+
+
+class TestExactEed:
+    def test_deterministic_pair_reduces_to_edit_distance(self):
+        a = UncertainString.from_text("kitten")
+        b = UncertainString.from_text("sitting")
+        assert expected_edit_distance(a, b) == pytest.approx(3.0)
+
+    def test_matches_joint_world_definition(self):
+        a = parse_uncertain("A{(C,0.5),(G,0.5)}T")
+        b = parse_uncertain("{(A,0.7),(T,0.3)}CT")
+        expected = sum(
+            p * edit_distance(x, y) for x, y, p in enumerate_joint_worlds(a, b)
+        )
+        assert expected_edit_distance(a, b) == pytest.approx(expected)
+
+    def test_weighted_average_example(self):
+        # ed(ACT, ACT)=0 w.p. 0.6, ed(AGT, ACT)=1 w.p. 0.4.
+        a = parse_uncertain("A{(C,0.6),(G,0.4)}T")
+        b = UncertainString.from_text("ACT")
+        assert expected_edit_distance(a, b) == pytest.approx(0.4)
+
+    def test_pair_limit_guard(self):
+        a = parse_uncertain("{(A,0.5),(C,0.5)}" * 3)
+        with pytest.raises(ValueError, match="refusing"):
+            expected_edit_distance(a, a, pair_limit=10)
+
+
+class TestSampledEed:
+    def test_converges_to_exact(self):
+        a = parse_uncertain("A{(C,0.6),(G,0.4)}T{(A,0.5),(C,0.5)}")
+        b = parse_uncertain("AC{(T,0.8),(G,0.2)}A")
+        exact = expected_edit_distance(a, b)
+        estimate = sampled_expected_edit_distance(a, b, samples=4000, rng=42)
+        assert estimate == pytest.approx(exact, abs=0.08)
+
+    def test_deterministic_pair_has_zero_variance(self):
+        a = UncertainString.from_text("AAA")
+        b = UncertainString.from_text("AAC")
+        assert sampled_expected_edit_distance(a, b, samples=5, rng=1) == 1.0
+
+    def test_rejects_non_positive_samples(self):
+        a = UncertainString.from_text("A")
+        with pytest.raises(ValueError):
+            sampled_expected_edit_distance(a, a, samples=0)

@@ -1,0 +1,102 @@
+"""Tests for the event-counting DP (Section 3.1)."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.events import exactly_counts, markov_tail_bound, tail_probability
+
+PROBS = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=0,
+    max_size=8,
+)
+
+
+def brute_exactly(alphas, y):
+    """Reference: sum over all event subsets of size y."""
+    total = 0.0
+    for chosen in itertools.combinations(range(len(alphas)), y):
+        chosen_set = set(chosen)
+        prob = 1.0
+        for i, alpha in enumerate(alphas):
+            prob *= alpha if i in chosen_set else (1.0 - alpha)
+        total += prob
+    return total
+
+
+class TestExactlyCounts:
+    @given(PROBS)
+    @settings(max_examples=150)
+    def test_matches_subset_enumeration(self, alphas):
+        pmf = exactly_counts(alphas)
+        for y in range(len(alphas) + 1):
+            assert pmf[y] == pytest.approx(brute_exactly(alphas, y), abs=1e-9)
+
+    @given(PROBS)
+    @settings(max_examples=100)
+    def test_pmf_sums_to_one(self, alphas):
+        assert sum(exactly_counts(alphas)) == pytest.approx(1.0)
+
+    def test_empty_event_list(self):
+        assert exactly_counts([]) == [1.0]
+
+    def test_certain_events(self):
+        pmf = exactly_counts([1.0, 1.0, 1.0])
+        assert pmf == pytest.approx([0.0, 0.0, 0.0, 1.0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            exactly_counts([1.5])
+
+
+class TestTailProbability:
+    @given(PROBS, st.integers(min_value=-1, max_value=9))
+    @settings(max_examples=200)
+    def test_matches_pmf_tail(self, alphas, threshold):
+        expected = sum(
+            brute_exactly(alphas, y)
+            for y in range(max(threshold, 0), len(alphas) + 1)
+        )
+        if threshold <= 0:
+            expected = 1.0
+        assert tail_probability(alphas, threshold) == pytest.approx(expected, abs=1e-9)
+
+    def test_threshold_one_closed_form(self):
+        # Lemma 3/5: 1 - prod(1 - alpha_x).
+        alphas = [0.2, 0.5, 0.1]
+        expected = 1.0 - math.prod(1 - a for a in alphas)
+        assert tail_probability(alphas, 1) == pytest.approx(expected)
+
+    def test_paper_example_s3(self):
+        # Table 1 / Section 3.1: S3 has alphas (1, 0, 0.2), m=3, k=1 ->
+        # need >= 2 matches; the paper derives upper bound 0.2 < tau.
+        assert tail_probability([1.0, 0.0, 0.2], 2) == pytest.approx(0.2)
+
+    def test_paper_example_s4(self):
+        # Table 1: S4 has alphas (0.8, 0.5, 0); the paper derives 0.4 and
+        # keeps (r, S4) as a candidate pair.
+        assert tail_probability([0.8, 0.5, 0.0], 2) == pytest.approx(0.4)
+
+    def test_threshold_above_m_is_zero(self):
+        assert tail_probability([0.9, 0.9], 3) == 0.0
+
+
+class TestMarkovBound:
+    @given(PROBS, st.integers(min_value=1, max_value=9))
+    @settings(max_examples=200)
+    def test_dominates_independent_tail(self, alphas, threshold):
+        # Markov is valid under any dependence, hence >= the independent
+        # tail probability.
+        markov = markov_tail_bound(alphas, threshold)
+        independent = tail_probability(alphas, threshold)
+        assert markov >= independent - 1e-9
+
+    def test_closed_form(self):
+        assert markov_tail_bound([0.5, 0.25], 2) == pytest.approx(0.375)
+
+    def test_vacuous_threshold(self):
+        assert markov_tail_bound([0.1], 0) == 1.0

@@ -1,0 +1,48 @@
+"""Smoke tests: the shipped examples must run and produce their output.
+
+Only the fast examples run here (the protein example's EED section takes
+minutes and is exercised by the benchmark suite instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "similar pairs" in out
+        assert "Pr(ed" in out
+        assert "search" in out
+
+    def test_record_linkage(self):
+        out = run_example("record_linkage.py")
+        assert "join produced" in out
+        assert "correct links" in out
+
+    def test_search_service(self):
+        out = run_example("search_service.py")
+        assert "index built" in out
+        assert "total query time" in out
+
+    @pytest.mark.slow
+    def test_author_dedup(self):
+        out = run_example("author_dedup.py", timeout=300)
+        assert "duplicate clusters" in out
+        assert "most probable duplicate pairs" in out

@@ -1,0 +1,95 @@
+"""Failure injection: malformed inputs must fail loudly, never corrupt.
+
+Database components are judged by how they behave on bad input; these
+tests pin down the error contract of the public surface.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+from repro.datasets.loader import load_collection
+from repro.filters.frequency import poisson_binomial_pmf
+from repro.index.inverted import SegmentInvertedIndex
+from repro.uncertain.parser import UncertainStringSyntaxError, parse_uncertain
+from repro.uncertain.position import UncertainPosition
+from repro.uncertain.string import UncertainString
+from repro.util.rng import ensure_rng
+from repro.util.timing import Stopwatch
+
+
+class TestBadDistributions:
+    def test_nan_probability_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainPosition({"A": math.nan, "C": 0.5})
+
+    def test_infinite_probability_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainPosition({"A": math.inf})
+
+    def test_tiny_leak_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainPosition({"A": 0.5, "C": 0.49})  # sums to 0.99
+
+    def test_empty_uncertain_string_joins_cleanly(self):
+        # Zero-length strings are odd but legal; the pipeline must not
+        # crash on them.
+        empty = UncertainString([])
+        other = UncertainString.from_text("A")
+        outcome = similarity_join([empty, other], JoinConfig(k=1, tau=0.5, q=2))
+        assert outcome.id_pairs() == {(0, 1)}
+
+
+class TestBadFiles:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_collection(tmp_path / "nope.txt")
+
+    def test_corrupt_line_reports_offset(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("ACGT\nA{(C,0.5)\n")
+        with pytest.raises(UncertainStringSyntaxError) as excinfo:
+            load_collection(path)
+        assert "offset" in str(excinfo.value)
+
+    def test_probability_overflow_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("A{(C,0.9),(G,0.9)}\n")
+        with pytest.raises(UncertainStringSyntaxError):
+            load_collection(path)
+
+
+class TestIndexMisuse:
+    def test_out_of_order_insert_detected(self):
+        index = SegmentInvertedIndex(k=1, q=2)
+        index.add(5, UncertainString.from_text("ACGTA"))
+        with pytest.raises(ValueError, match="ascending"):
+            index.add(5, UncertainString.from_text("ACGTA"))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SegmentInvertedIndex(k=-1)
+        with pytest.raises(ValueError):
+            SegmentInvertedIndex(k=1, q=0)
+
+
+class TestUtilityContracts:
+    def test_rng_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+    def test_stopwatch_rejects_negative_add(self):
+        with pytest.raises(ValueError):
+            Stopwatch().add(-1.0)
+
+    def test_poisson_binomial_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([-0.1])
+
+    def test_parse_error_is_value_error(self):
+        # Callers catching ValueError must catch syntax errors too.
+        assert issubclass(UncertainStringSyntaxError, ValueError)
+        with pytest.raises(ValueError):
+            parse_uncertain("{(")

@@ -1,0 +1,233 @@
+"""Tests for frequency-distance filtering (Section 5)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.frequency import frequency_distance
+from repro.filters.frequency import (
+    CharCountDistribution,
+    FrequencyDistanceFilter,
+    FrequencyProfile,
+    chebyshev_upper_bound,
+    expected_negative,
+    expected_positive_negative,
+    fd_lower_bound,
+    poisson_binomial_pmf,
+)
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import enumerate_joint_worlds, enumerate_worlds
+
+from tests.helpers import random_uncertain, uncertain_strings
+
+
+class TestPoissonBinomial:
+    def test_empty(self):
+        assert poisson_binomial_pmf([]) == [1.0]
+
+    def test_single_bernoulli(self):
+        assert poisson_binomial_pmf([0.3]) == pytest.approx([0.7, 0.3])
+
+    def test_binomial_special_case(self):
+        pmf = poisson_binomial_pmf([0.5] * 4)
+        expected = [math.comb(4, x) / 16 for x in range(5)]
+        assert pmf == pytest.approx(expected)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            max_size=7,
+        )
+    )
+    @settings(max_examples=100)
+    def test_sums_to_one(self, probs):
+        assert sum(poisson_binomial_pmf(probs)) == pytest.approx(1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([1.7])
+
+
+class TestCharCountDistribution:
+    @pytest.fixture
+    def dist(self):
+        return CharCountDistribution(
+            certain=2, pmf=tuple(poisson_binomial_pmf([0.5, 0.2]))
+        )
+
+    def test_bounds(self, dist):
+        assert dist.certain == 2
+        assert dist.uncertain == 2
+        assert dist.total == 4
+
+    def test_mean(self, dist):
+        assert dist.mean == pytest.approx(2 + 0.5 + 0.2)
+
+    def test_survival_is_s2(self, dist):
+        # S2[x] = Pr(count >= certain + x).
+        for x in range(dist.uncertain + 1):
+            expected = sum(dist.pmf[x:])
+            assert dist.survival[x] == pytest.approx(expected)
+
+    def test_scaled_tail_is_s3(self, dist):
+        # S3[x] = sum_{y >= x} (y - x + 1) pmf[y].
+        for x in range(dist.uncertain + 1):
+            expected = sum(
+                (y - x + 1) * dist.pmf[y] for y in range(x, dist.uncertain + 1)
+            )
+            assert dist.scaled_tail[x] == pytest.approx(expected)
+
+    def test_scaled_head_is_s4(self, dist):
+        # S4[x] = sum_{y <= x} (x - y) pmf[y].
+        for x in range(dist.uncertain + 1):
+            expected = sum((x - y) * dist.pmf[y] for y in range(x + 1))
+            assert dist.scaled_head[x] == pytest.approx(expected)
+
+    def test_expected_excess(self, dist):
+        # E[(count - t)^+] for absolute thresholds straddling the support.
+        for threshold in range(7):
+            expected = sum(
+                max(0, (dist.certain + y) - threshold) * dist.pmf[y]
+                for y in range(dist.uncertain + 1)
+            )
+            assert dist.expected_excess_over(threshold) == pytest.approx(expected)
+
+
+class TestFrequencyProfile:
+    def test_char_distributions(self):
+        s = parse_uncertain("A{(C,0.5),(G,0.5)}A{(C,0.5),(G,0.5)}AC")
+        profile = FrequencyProfile(s)
+        a = profile.distribution("A")
+        assert (a.certain, a.total) == (3, 3)
+        c = profile.distribution("C")
+        assert (c.certain, c.total) == (1, 3)
+        assert profile.distribution("T").total == 0
+
+    def test_count_distribution_matches_world_enumeration(self):
+        rng = random.Random(17)
+        s = random_uncertain(rng, 7, theta=0.5)
+        profile = FrequencyProfile(s)
+        for char in profile.chars():
+            dist = profile.distribution(char)
+            by_count: dict[int, float] = {}
+            for text, prob in enumerate_worlds(s, limit=None):
+                count = text.count(char)
+                by_count[count] = by_count.get(count, 0.0) + prob
+            for offset, mass in enumerate(dist.pmf):
+                assert mass == pytest.approx(
+                    by_count.get(dist.certain + offset, 0.0), abs=1e-9
+                )
+
+
+class TestLemma6:
+    def test_certain_surplus_detected(self):
+        left = FrequencyProfile(UncertainString.from_text("AAAA"))
+        right = FrequencyProfile(UncertainString.from_text("CCCC"))
+        assert fd_lower_bound(left, right) == 4
+
+    def test_uncertainty_relaxes_bound(self):
+        left = FrequencyProfile(parse_uncertain("{(A,0.5),(C,0.5)}AAA"))
+        right = FrequencyProfile(UncertainString.from_text("CCCC"))
+        # A is certain only 3 times now; C possibly once in left.
+        assert fd_lower_bound(left, right) == 3
+
+    @given(
+        uncertain_strings(max_length=5),
+        uncertain_strings(max_length=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lower_bound_safe_over_worlds(self, left, right):
+        # Lemma 6: the bound must hold in EVERY joint world.
+        bound = fd_lower_bound(FrequencyProfile(left), FrequencyProfile(right))
+        for l_text, r_text, _ in enumerate_joint_worlds(left, right, limit=None):
+            assert frequency_distance(l_text, r_text) >= bound
+
+
+class TestExpectations:
+    @given(
+        uncertain_strings(max_length=5),
+        uncertain_strings(max_length=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_expected_nd_matches_enumeration(self, left, right):
+        profile_l, profile_r = FrequencyProfile(left), FrequencyProfile(right)
+        expected = 0.0
+        chars = profile_l.chars() | profile_r.chars()
+        for l_text, r_text, prob in enumerate_joint_worlds(left, right, limit=None):
+            expected += prob * sum(
+                max(0, r_text.count(c) - l_text.count(c)) for c in chars
+            )
+        assert expected_negative(profile_l, profile_r) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    @given(uncertain_strings(max_length=5), uncertain_strings(max_length=5))
+    @settings(max_examples=60, deadline=None)
+    def test_pd_nd_difference_identity(self, left, right):
+        # E[pD] - E[nD] = sum_c (E[fR_c] - E[fS_c]).
+        profile_l, profile_r = FrequencyProfile(left), FrequencyProfile(right)
+        expected_pd, expected_nd = expected_positive_negative(profile_l, profile_r)
+        mean_gap = sum(
+            profile_l.distribution(c).mean - profile_r.distribution(c).mean
+            for c in profile_l.chars() | profile_r.chars()
+        )
+        assert expected_pd - expected_nd == pytest.approx(mean_gap, abs=1e-9)
+
+
+class TestTheorem3:
+    @given(
+        uncertain_strings(max_length=5),
+        uncertain_strings(max_length=5),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_upper_bound_dominates_exact_fd_probability(self, left, right, k):
+        bound = chebyshev_upper_bound(
+            FrequencyProfile(left), FrequencyProfile(right), k
+        )
+        exact = sum(
+            prob
+            for l_text, r_text, prob in enumerate_joint_worlds(left, right, limit=None)
+            if frequency_distance(l_text, r_text) <= k
+        )
+        assert bound >= exact - 1e-9
+
+    def test_vacuous_when_mean_below_k(self):
+        left = FrequencyProfile(UncertainString.from_text("AAAA"))
+        assert chebyshev_upper_bound(left, left, 2) == 1.0
+
+    def test_tight_for_distant_deterministic_pair(self):
+        left = FrequencyProfile(UncertainString.from_text("A" * 12))
+        right = FrequencyProfile(UncertainString.from_text("C" * 12))
+        bound = chebyshev_upper_bound(left, right, 1)
+        assert bound < 0.1
+
+
+class TestFilterDecisions:
+    def test_rejects_on_lemma6(self):
+        f = FrequencyDistanceFilter(k=2)
+        a = UncertainString.from_text("AAAAAA")
+        b = UncertainString.from_text("CCCCCC")
+        decision = f.decide(a, b, tau=0.1)
+        assert decision.rejected
+        assert "Lemma 6" in decision.reason
+
+    def test_undecided_for_similar_pair(self):
+        f = FrequencyDistanceFilter(k=2)
+        a = UncertainString.from_text("ACGTAC")
+        decision = f.decide(a, a, tau=0.1)
+        assert not decision.rejected
+
+    def test_accepts_profiles_directly(self):
+        f = FrequencyDistanceFilter(k=1)
+        a = UncertainString.from_text("ACGT")
+        decision = f.decide(FrequencyProfile(a), FrequencyProfile(a), tau=0.5)
+        assert not decision.rejected
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            FrequencyDistanceFilter(k=-1)

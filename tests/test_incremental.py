@@ -1,0 +1,79 @@
+"""Tests for the incremental (streaming) joiner."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute import brute_force_join
+from repro.core.config import JoinConfig
+from repro.core.incremental import IncrementalJoiner
+from repro.uncertain.string import UncertainString
+
+from tests.helpers import random_collection
+
+
+class TestEquivalenceWithBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_brute_force_in_arrival_order(self, seed):
+        rng = random.Random(seed)
+        collection = random_collection(rng, 12, length_range=(4, 7))
+        joiner = IncrementalJoiner(JoinConfig(k=1, tau=0.1, q=2))
+        pairs = set()
+        for string in collection:
+            pairs.update(p.ids for p in joiner.add(string))
+        expected = {(i, j) for i, j, _ in brute_force_join(collection, 1, 0.1)}
+        assert pairs == expected
+
+    def test_shuffled_arrival_order_same_pairs(self):
+        rng = random.Random(9)
+        collection = random_collection(rng, 10, length_range=(4, 7))
+        # Arrival order: longest first — exercises both probe directions.
+        order = sorted(range(len(collection)), key=lambda i: -len(collection[i]))
+        joiner = IncrementalJoiner(JoinConfig(k=1, tau=0.1, q=2))
+        pairs = set()
+        id_map = {}
+        for arrival, original in enumerate(order):
+            id_map[arrival] = original
+            for pair in joiner.add(collection[original]):
+                pairs.add(tuple(sorted((id_map[pair.left_id], id_map[pair.right_id]))))
+        expected = {(i, j) for i, j, _ in brute_force_join(collection, 1, 0.1)}
+        assert pairs == expected
+
+    def test_without_qgram_filter(self):
+        rng = random.Random(4)
+        collection = random_collection(rng, 8, length_range=(4, 6))
+        joiner = IncrementalJoiner(JoinConfig.for_algorithm("FCT", k=1, tau=0.1, q=2))
+        pairs = set()
+        for string in collection:
+            pairs.update(p.ids for p in joiner.add(string))
+        expected = {(i, j) for i, j, _ in brute_force_join(collection, 1, 0.1)}
+        assert pairs == expected
+
+
+class TestApi:
+    def test_new_pair_references_new_string(self):
+        joiner = IncrementalJoiner(JoinConfig(k=1, tau=0.3, q=2))
+        a = UncertainString.from_text("ACGT")
+        assert joiner.add(a) == []
+        pairs = joiner.add(a)
+        assert [p.ids for p in pairs] == [(0, 1)]
+
+    def test_extend_flattens(self):
+        joiner = IncrementalJoiner(JoinConfig(k=0, tau=0.5, q=2))
+        a = UncertainString.from_text("AAAA")
+        pairs = joiner.extend([a, a, a])
+        assert {p.ids for p in pairs} == {(0, 1), (0, 2), (1, 2)}
+
+    def test_len_and_strings(self):
+        joiner = IncrementalJoiner(JoinConfig(k=1, tau=0.1))
+        a = UncertainString.from_text("ACGT")
+        joiner.add(a)
+        assert len(joiner) == 1
+        assert joiner.strings == [a]
+
+    def test_stats_accumulate(self):
+        joiner = IncrementalJoiner(JoinConfig(k=0, tau=0.5, q=2))
+        a = UncertainString.from_text("AAAA")
+        joiner.extend([a, a])
+        assert joiner.stats.total_strings == 2
+        assert joiner.stats.result_pairs == 1

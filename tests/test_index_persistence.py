@@ -1,0 +1,72 @@
+"""Tests for index save/load."""
+
+import json
+import random
+
+import pytest
+
+from repro.index.inverted import SegmentInvertedIndex
+from repro.index.persistence import load_index, save_index
+from repro.uncertain.string import UncertainString
+
+from tests.helpers import random_collection
+
+
+def build(collection, **kwargs):
+    index = SegmentInvertedIndex(k=1, q=2, **kwargs)
+    for string_id, string in enumerate(collection):
+        index.add(string_id, string)
+    return index
+
+
+class TestRoundTrip:
+    def test_queries_identical_after_reload(self, tmp_path):
+        rng = random.Random(7)
+        collection = random_collection(rng, 10, length_range=(4, 7))
+        index = build(collection)
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        reloaded = load_index(path)
+        for query in random_collection(rng, 4, length_range=(4, 7)):
+            original = [(c.string_id, c.alphas, c.upper) for c in index.query(query, 0.05)]
+            again = [(c.string_id, c.alphas, c.upper) for c in reloaded.query(query, 0.05)]
+            assert again == original
+
+    def test_configuration_preserved(self, tmp_path):
+        index = build([], selection="multimatch", group_mode="beta", bound_mode="markov")
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        reloaded = load_index(path)
+        assert reloaded.k == 1
+        assert reloaded.q == 2
+        assert reloaded.selection == "multimatch"
+        assert reloaded.group_mode == "beta"
+        assert reloaded.bound_mode == "markov"
+
+    def test_entry_count_preserved(self, tmp_path):
+        rng = random.Random(3)
+        index = build(random_collection(rng, 6, length_range=(4, 6)))
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        assert load_index(path).entry_count == index.entry_count
+
+    def test_insertion_continues_after_reload(self, tmp_path):
+        index = build([UncertainString.from_text("ACGT")])
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        reloaded = load_index(path)
+        reloaded.add(1, UncertainString.from_text("ACGA"))
+        with pytest.raises(ValueError, match="ascending"):
+            reloaded.add(1, UncertainString.from_text("ACGA"))
+
+
+class TestFormatGuards:
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text(json.dumps({"format": 999}))
+        with pytest.raises(ValueError, match="unsupported index format"):
+            load_index(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "nope.json")

@@ -1,0 +1,62 @@
+"""Moderate-scale integration: variants agree on realistic datasets.
+
+Brute force is infeasible at this scale, but all algorithm variants must
+agree with each other (they share only the exact verifier), and the
+incremental joiner must agree with the batch driver.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.incremental import IncrementalJoiner
+from repro.core.join import similarity_join
+from repro.datasets.presets import dblp_like_collection, protein_like_collection
+
+
+@pytest.fixture(scope="module")
+def dblp100():
+    # <= 4 uncertain positions keeps the naive-verifier test affordable.
+    return dblp_like_collection(100, rng=2024, max_uncertain_positions=4)
+
+
+@pytest.fixture(scope="module")
+def protein80():
+    return protein_like_collection(80, rng=2024, max_uncertain_positions=5)
+
+
+class TestCrossVariantAgreement:
+    def test_all_variants_agree_on_dblp(self, dblp100):
+        results = {}
+        for algorithm in ("QFCT", "QCT", "QFT", "FCT"):
+            config = JoinConfig.for_algorithm(algorithm, k=2, tau=0.1)
+            results[algorithm] = similarity_join(dblp100, config).id_pairs()
+        assert len({frozenset(pairs) for pairs in results.values()}) == 1
+        assert results["QFCT"]  # non-trivial workload
+
+    def test_variants_agree_on_protein(self, protein80):
+        full = similarity_join(
+            protein80, JoinConfig.for_algorithm("QFCT", k=4, tau=0.01)
+        ).id_pairs()
+        reduced = similarity_join(
+            protein80, JoinConfig.for_algorithm("FCT", k=4, tau=0.01)
+        ).id_pairs()
+        assert full == reduced
+        assert full
+
+    def test_incremental_agrees_with_batch(self, dblp100):
+        config = JoinConfig(k=2, tau=0.1)
+        batch = similarity_join(dblp100, config).id_pairs()
+        joiner = IncrementalJoiner(config)
+        streamed = set()
+        for string in dblp100:
+            streamed.update(p.ids for p in joiner.add(string))
+        assert streamed == batch
+
+    def test_naive_verifier_agrees_with_trie(self, dblp100):
+        trie = similarity_join(
+            dblp100, JoinConfig(k=2, tau=0.1, verification="trie")
+        ).id_pairs()
+        naive = similarity_join(
+            dblp100, JoinConfig(k=2, tau=0.1, verification="naive")
+        ).id_pairs()
+        assert trie == naive

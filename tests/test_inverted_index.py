@@ -1,0 +1,101 @@
+"""Tests for the segment inverted index (Section 4)."""
+
+import random
+
+import pytest
+
+from repro.distance.probability import edit_similarity_probability
+from repro.filters.qgram import QGramFilter
+from repro.index.inverted import SegmentInvertedIndex
+from repro.uncertain.string import UncertainString
+
+from tests.helpers import random_collection
+
+
+def build_index(collection, k=1, q=2, **kwargs):
+    index = SegmentInvertedIndex(k=k, q=q, **kwargs)
+    for string_id, string in enumerate(collection):
+        index.add(string_id, string)
+    return index
+
+
+class TestMaintenance:
+    def test_insertion_order_enforced(self):
+        index = SegmentInvertedIndex(k=1, q=2)
+        a = UncertainString.from_text("ACGTA")
+        index.add(3, a)
+        with pytest.raises(ValueError, match="ascending"):
+            index.add(2, a)
+
+    def test_entry_count_grows_with_worlds(self):
+        rng = random.Random(1)
+        certain = [UncertainString.from_text("ACGTAC")]
+        uncertain = random_collection(rng, 1, length_range=(6, 6), theta=0.6)
+        index_c = build_index(certain)
+        index_u = build_index(uncertain)
+        assert index_u.entry_count >= index_c.entry_count
+
+    def test_indexed_lengths(self):
+        index = build_index(
+            [UncertainString.from_text("AAAA"), UncertainString.from_text("CCCCC")]
+        )
+        assert index.indexed_lengths == {4, 5}
+
+
+class TestQueryAgainstPairFilter:
+    """The index must compute the same alphas/bounds as the pair-at-a-time
+    QGramFilter, just collection-wide."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_candidates_match_pair_filter(self, seed):
+        rng = random.Random(seed)
+        collection = random_collection(rng, 10, length_range=(4, 7), theta=0.4)
+        k, q, tau = 1, 2, 0.05
+        index = build_index(collection, k=k, q=q)
+        qfilter = QGramFilter(k=k, q=q)
+        for query in random_collection(rng, 3, length_range=(4, 7), theta=0.4):
+            got = {c.string_id: c for c in index.query(query, tau)}
+            for string_id, string in enumerate(collection):
+                if abs(len(string) - len(query)) > k:
+                    assert string_id not in got
+                    continue
+                outcome = qfilter.evaluate(query, string)
+                decision = outcome.decision(tau)
+                if decision.rejected:
+                    assert string_id not in got
+                else:
+                    assert string_id in got
+                    assert got[string_id].alphas == pytest.approx(
+                        outcome.alphas, abs=1e-9
+                    )
+                    assert got[string_id].upper == pytest.approx(
+                        outcome.upper, abs=1e-9
+                    )
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_no_true_result_is_pruned(self, seed):
+        # Any string with Pr(ed <= k) > tau must survive the index probe.
+        rng = random.Random(seed)
+        collection = random_collection(rng, 12, length_range=(4, 6), theta=0.3)
+        k, q, tau = 1, 2, 0.1
+        index = build_index(collection, k=k, q=q)
+        for query in random_collection(rng, 4, length_range=(4, 6), theta=0.3):
+            survivors = {c.string_id for c in index.query(query, tau)}
+            for string_id, string in enumerate(collection):
+                exact = (
+                    edit_similarity_probability(query, string, k)
+                    if abs(len(string) - len(query)) <= k
+                    else 0.0
+                )
+                if exact > tau:
+                    assert string_id in survivors
+
+    def test_short_string_regime_returns_everything(self):
+        # Length < k + 1: the pigeonhole is vacuous; all same-length
+        # strings must come back as candidates.
+        strings = [UncertainString.from_text(t) for t in ("AC", "GT", "CA")]
+        index = build_index(strings, k=3, q=2)
+        got = {c.string_id for c in index.query(UncertainString.from_text("AA"), 0.2)}
+        assert got == {0, 1, 2}

@@ -1,0 +1,78 @@
+"""Tests for the two-collection (R-S) join."""
+
+import random
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join_two import similarity_join_two
+from repro.distance.probability import edit_similarity_probability
+from repro.uncertain.string import UncertainString
+
+from tests.helpers import random_collection
+
+
+def brute_two(left, right, k, tau):
+    out = set()
+    for i, r in enumerate(left):
+        for j, s in enumerate(right):
+            if abs(len(r) - len(s)) > k:
+                continue
+            if edit_similarity_probability(r, s, k) > tau:
+                out.add((i, j))
+    return out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm", ["QFCT", "FCT"])
+    def test_matches_brute_force(self, algorithm):
+        rng = random.Random(len(algorithm) * 7)
+        left = random_collection(rng, 8, length_range=(4, 7))
+        right = random_collection(rng, 10, length_range=(4, 7))
+        config = JoinConfig.for_algorithm(algorithm, k=1, tau=0.1, q=2)
+        outcome = similarity_join_two(left, right, config)
+        assert outcome.id_pairs() == brute_two(left, right, 1, 0.1)
+
+    def test_pair_ids_reference_their_collections(self):
+        a = UncertainString.from_text("ACGT")
+        b = UncertainString.from_text("ACGA")
+        outcome = similarity_join_two([a], [b, a], JoinConfig(k=1, tau=0.5, q=2))
+        assert outcome.id_pairs() == {(0, 0), (0, 1)}
+
+    def test_not_symmetric_in_id_spaces(self):
+        # Unlike the self-join there is no left_id < right_id constraint.
+        a = UncertainString.from_text("AAAA")
+        outcome = similarity_join_two([a, a], [a], JoinConfig(k=0, tau=0.5, q=2))
+        assert outcome.id_pairs() == {(0, 0), (1, 0)}
+
+    def test_probabilities_reported(self):
+        rng = random.Random(5)
+        left = random_collection(rng, 5, length_range=(4, 6))
+        right = random_collection(rng, 6, length_range=(4, 6))
+        config = JoinConfig(k=2, tau=0.1, q=2, report_probabilities=True)
+        outcome = similarity_join_two(left, right, config)
+        for pair in outcome.pairs:
+            expected = edit_similarity_probability(
+                left[pair.left_id], right[pair.right_id], 2
+            )
+            assert pair.probability == pytest.approx(expected, abs=1e-9)
+
+
+class TestStats:
+    def test_statistics_accumulated_across_queries(self):
+        rng = random.Random(2)
+        left = random_collection(rng, 6, length_range=(4, 6))
+        right = random_collection(rng, 8, length_range=(4, 6))
+        outcome = similarity_join_two(left, right, JoinConfig(k=1, tau=0.1, q=2))
+        stats = outcome.stats
+        assert stats.total_strings == 14
+        assert stats.result_pairs == len(outcome.pairs)
+        assert stats.total_seconds > 0
+        assert stats.frequency_checked >= stats.frequency_survivors
+
+    def test_empty_sides(self):
+        config = JoinConfig(k=1, tau=0.1)
+        assert similarity_join_two([], [], config).pairs == []
+        a = [UncertainString.from_text("ACGT")]
+        assert similarity_join_two(a, [], config).pairs == []
+        assert similarity_join_two([], a, config).pairs == []

@@ -1,0 +1,103 @@
+"""Tests for the sorted-posting merges of Section 4."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.merge import join_sorted_lists, merge_weighted_postings
+
+
+def dict_reference_merge(lists):
+    out = {}
+    for weight, postings in lists:
+        for string_id, prob in postings:
+            out[string_id] = out.get(string_id, 0.0) + weight * prob
+    return out
+
+
+POSTING_LISTS = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            max_size=10,
+        ).map(lambda ps: sorted({i: p for i, p in ps}.items())),
+    ),
+    max_size=6,
+)
+
+
+class TestMergeWeightedPostings:
+    def test_empty(self):
+        assert merge_weighted_postings([]) == []
+
+    def test_single_list_scaled_by_weight(self):
+        merged = merge_weighted_postings([(0.5, [(1, 0.4), (7, 1.0)])])
+        assert merged == [(1, pytest.approx(0.2)), (7, pytest.approx(0.5))]
+
+    def test_union_accumulates_across_lists(self):
+        merged = merge_weighted_postings(
+            [
+                (1.0, [(1, 0.5), (3, 0.5)]),
+                (0.5, [(1, 1.0), (2, 1.0)]),
+            ]
+        )
+        assert merged == [
+            (1, pytest.approx(1.0)),
+            (2, pytest.approx(0.5)),
+            (3, pytest.approx(0.5)),
+        ]
+
+    @given(POSTING_LISTS)
+    @settings(max_examples=150)
+    def test_matches_dict_reference(self, lists):
+        merged = merge_weighted_postings(lists)
+        reference = dict_reference_merge(lists)
+        assert [i for i, _ in merged] == sorted(reference)
+        for string_id, alpha in merged:
+            assert alpha == pytest.approx(reference[string_id], abs=1e-9)
+
+    @given(POSTING_LISTS)
+    @settings(max_examples=60)
+    def test_output_sorted_and_unique(self, lists):
+        merged = merge_weighted_postings(lists)
+        ids = [i for i, _ in merged]
+        assert ids == sorted(set(ids))
+
+
+class TestJoinSortedLists:
+    def test_tags_segment_indices(self):
+        joined = join_sorted_lists(
+            [
+                [(1, 0.5), (2, 0.25)],
+                [],
+                [(2, 0.75)],
+            ]
+        )
+        assert joined == [
+            (1, [(0, 0.5)]),
+            (2, [(0, 0.25), (2, 0.75)]),
+        ]
+
+    def test_counts_support_lemma5(self):
+        rng = random.Random(3)
+        lists = []
+        membership = {}
+        for segment in range(4):
+            postings = []
+            for string_id in range(10):
+                if rng.random() < 0.4:
+                    postings.append((string_id, rng.random()))
+                    membership.setdefault(string_id, set()).add(segment)
+            lists.append(postings)
+        joined = dict(join_sorted_lists(lists))
+        for string_id, segments in membership.items():
+            assert {seg for seg, _ in joined[string_id]} == segments
+
+    def test_empty_lists(self):
+        assert join_sorted_lists([[], []]) == []

@@ -1,0 +1,82 @@
+"""Tests for the overlapping q-gram count filter."""
+
+import random
+
+import pytest
+
+from repro.distance.probability import edit_similarity_probability
+from repro.filters.overlap import OverlapCountFilter, window_support_keys
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+
+from tests.helpers import random_collection
+
+
+class TestWindowSupports:
+    def test_deterministic_supports_are_singletons(self):
+        keys = window_support_keys(UncertainString.from_text("ACGT"), 2)
+        assert len(keys) == 3
+        assert keys[0] == (frozenset("A"), frozenset("C"))
+
+    def test_uncertain_position_widens_support(self):
+        s = parse_uncertain("A{(C,0.5),(G,0.5)}T")
+        keys = window_support_keys(s, 2)
+        assert keys[0][1] == frozenset("CG")
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            window_support_keys(UncertainString.from_text("A"), 0)
+
+
+class TestThreshold:
+    def test_classic_formula(self):
+        f = OverlapCountFilter(k=1, q=2)
+        # max(6, 6) - 2 + 1 - 1*2 = 3
+        assert f.threshold(6, 6) == 3
+
+    def test_deterministic_identical_strings_pass(self):
+        f = OverlapCountFilter(k=1, q=2)
+        s = UncertainString.from_text("ACGTACGT")
+        assert not f.decide(s, s).rejected
+
+    def test_disjoint_strings_rejected(self):
+        f = OverlapCountFilter(k=1, q=2)
+        a = UncertainString.from_text("AAAAAAAA")
+        b = UncertainString.from_text("CCCCCCCC")
+        assert f.decide(a, b).rejected
+
+
+class TestSafety:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_never_rejects_a_possible_pair(self, seed):
+        # Necessary-condition property: a rejected pair must have
+        # Pr(ed <= k) == 0 in every joint world.
+        rng = random.Random(seed)
+        f = OverlapCountFilter(k=1, q=2)
+        rejected = 0
+        for _ in range(60):
+            a, b = random_collection(rng, 2, length_range=(4, 7), theta=0.4)
+            decision = f.decide(a, b)
+            if decision.rejected and abs(len(a) - len(b)) <= 1:
+                rejected += 1
+                assert edit_similarity_probability(a, b, 1) == 0.0
+        # the filter did fire at least once in this configuration
+        assert rejected > 0
+
+    def test_vacuous_for_short_strings(self):
+        f = OverlapCountFilter(k=2, q=3)
+        a = UncertainString.from_text("ACG")
+        assert f.threshold(3, 3) <= 0
+        assert not f.decide(a, a).rejected
+
+
+class TestIndexSizeMeasure:
+    def test_overlapping_entries_count_instances(self):
+        f = OverlapCountFilter(k=1, q=2)
+        s = parse_uncertain("A{(C,0.5),(G,0.5)}T")
+        # windows: A{C,G} (2 instances) and {C,G}T (2 instances)
+        assert f.index_entry_count(s) == 4
+
+    def test_deterministic_is_window_count(self):
+        f = OverlapCountFilter(k=1, q=3)
+        assert f.index_entry_count(UncertainString.from_text("ACGTAC")) == 4

@@ -1,0 +1,83 @@
+"""Tests for the textual uncertain-string format."""
+
+import pytest
+
+from repro.uncertain.parser import (
+    UncertainStringSyntaxError,
+    format_uncertain,
+    parse_uncertain,
+)
+from repro.uncertain.string import UncertainString
+
+
+class TestParse:
+    def test_plain_text(self):
+        s = parse_uncertain("GATTACA")
+        assert s.is_certain
+        assert s.most_probable_instance()[0] == "GATTACA"
+
+    def test_single_pdf_block(self):
+        s = parse_uncertain("A{(C,0.5),(G,0.5)}T")
+        assert len(s) == 3
+        assert s[1].probability("C") == pytest.approx(0.5)
+
+    def test_paper_table1_string(self):
+        # S2 from Table 1: AA{(G,0.9),(T,0.1)}G{(C,0.3),(G,0.2),(T,0.5)}C
+        s = parse_uncertain("AA{(G,0.9),(T,0.1)}G{(C,0.3),(G,0.2),(T,0.5)}C")
+        assert len(s) == 6
+        assert s[2].probability("G") == pytest.approx(0.9)
+        assert s[4].probability("T") == pytest.approx(0.5)
+
+    def test_whitespace_in_probability(self):
+        s = parse_uncertain("{(A, 0.5),(C, 0.5)}")
+        assert s[0].probability("A") == pytest.approx(0.5)
+
+    def test_scientific_notation(self):
+        s = parse_uncertain("{(A,5e-1),(C,0.5)}")
+        assert s[0].probability("A") == pytest.approx(0.5)
+
+    def test_space_as_alternative_char(self):
+        s = parse_uncertain("a{( ,0.5),(b,0.5)}c")
+        assert s[1].probability(" ") == pytest.approx(0.5)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A{(C,0.5)",        # unterminated block
+            "A}C",              # unmatched close
+            "A{}C",             # empty block
+            "A{(C,0.5),(G,0.6)}",   # bad sum
+            "A{(CG,1.0)}",      # multi-char alternative
+            "A{(C,x)}",         # bad probability
+            "A{(C0.5)}",        # missing comma
+        ],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(UncertainStringSyntaxError):
+            parse_uncertain(text)
+
+    def test_error_reports_offset(self):
+        with pytest.raises(UncertainStringSyntaxError) as excinfo:
+            parse_uncertain("AC}T")
+        assert excinfo.value.index == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "GATTACA",
+            "A{(C,0.5),(G,0.5)}T",
+            "{(A,0.8),(C,0.2)}{(G,0.9),(T,0.1)}",
+            "AA{(G,0.9),(T,0.1)}G{(C,0.3),(G,0.2),(T,0.5)}C",
+        ],
+    )
+    def test_parse_format_parse(self, text):
+        once = parse_uncertain(text)
+        again = parse_uncertain(format_uncertain(once))
+        assert once == again
+
+    def test_format_certain_is_plain_text(self):
+        assert format_uncertain(UncertainString.from_text("abc")) == "abc"

@@ -1,0 +1,76 @@
+"""Tests for the even-partition scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.even import even_partition, partition_for, segment_count
+
+
+class TestSegmentCount:
+    def test_paper_policy(self):
+        # m = max(k + 1, floor(l / q))
+        assert segment_count(19, 3, 2) == 6
+        assert segment_count(19, 3, 8) == 9
+        assert segment_count(6, 2, 1) == 3  # Table 1: m = 3
+
+    def test_short_string_clamped_to_length(self):
+        assert segment_count(3, 3, 8) == 3
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            segment_count(0, 3, 1)
+        with pytest.raises(ValueError):
+            segment_count(5, 0, 1)
+        with pytest.raises(ValueError):
+            segment_count(5, 3, -1)
+
+
+class TestEvenPartition:
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200)
+    def test_partition_is_disjoint_and_covering(self, length, m):
+        if m > length:
+            with pytest.raises(ValueError):
+                even_partition(length, m)
+            return
+        segments = even_partition(length, m)
+        assert len(segments) == m
+        assert segments[0].start == 0
+        assert segments[-1].end == length
+        for prev, cur in zip(segments, segments[1:]):
+            assert cur.start == prev.end
+        lengths = [seg.length for seg in segments]
+        assert max(lengths) - min(lengths) <= 1
+        # Later segments never shorter (paper's "last segments get q+1").
+        assert lengths == sorted(lengths)
+
+    def test_indices_are_one_based(self):
+        segments = even_partition(10, 4)
+        assert [seg.index for seg in segments] == [1, 2, 3, 4]
+
+    def test_exact_division(self):
+        segments = even_partition(6, 3)
+        assert [(seg.start, seg.length) for seg in segments] == [
+            (0, 2), (2, 2), (4, 2),
+        ]
+
+    def test_uneven_division_matches_paper_formula(self):
+        # l=19, q=3 -> m=6, last 19 - 6*3 = 1 segment of length 4.
+        segments = even_partition(19, 6)
+        assert [seg.length for seg in segments] == [3, 3, 3, 3, 3, 4]
+
+
+class TestPartitionFor:
+    def test_combines_policy_and_partition(self):
+        segments = partition_for(19, 3, 2)
+        assert len(segments) == 6
+        assert sum(seg.length for seg in segments) == 19
+
+    def test_segment_lengths_are_q_or_q_plus_one(self):
+        for length in range(12, 40):
+            for seg in partition_for(length, 3, 2):
+                assert seg.length in (3, 4)

@@ -1,0 +1,112 @@
+"""Tests for repro.uncertain.position."""
+
+import random
+
+import pytest
+
+from repro.uncertain.position import UncertainPosition
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        pos = UncertainPosition({"A": 0.7, "C": 0.3})
+        assert pos.probability("A") == pytest.approx(0.7)
+        assert pos.probability("C") == pytest.approx(0.3)
+
+    def test_from_pairs(self):
+        pos = UncertainPosition((("A", 0.5), ("G", 0.5)))
+        assert set(pos.chars) == {"A", "G"}
+
+    def test_certain_constructor(self):
+        pos = UncertainPosition.certain("Q")
+        assert pos.is_certain
+        assert pos.top == "Q"
+        assert pos.probability("Q") == 1.0
+
+    def test_sorted_most_probable_first(self):
+        pos = UncertainPosition({"A": 0.2, "C": 0.5, "G": 0.3})
+        assert pos.chars == ("C", "G", "A")
+
+    def test_ties_broken_by_character(self):
+        pos = UncertainPosition({"G": 0.5, "A": 0.5})
+        assert pos.chars == ("A", "G")
+
+    def test_zero_probability_alternatives_dropped(self):
+        pos = UncertainPosition({"A": 1.0, "C": 0.0})
+        assert pos.chars == ("A",)
+        assert pos.is_certain
+
+    def test_probabilities_normalized(self):
+        # Tiny float drift within tolerance is renormalized exactly.
+        pos = UncertainPosition({"A": 0.3 + 1e-9, "C": 0.7})
+        assert sum(pos.probs) == pytest.approx(1.0, abs=1e-15)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            UncertainPosition({"A": 0.5, "C": 0.4})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            UncertainPosition({"A": 1.2, "C": -0.2})
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            UncertainPosition((("A", 0.5), ("A", 0.5)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            UncertainPosition({})
+
+    def test_rejects_multichar(self):
+        with pytest.raises(ValueError, match="single character"):
+            UncertainPosition({"AB": 1.0})
+
+
+class TestAgreement:
+    def test_agreement_identical_certain(self):
+        a = UncertainPosition.certain("A")
+        assert a.agreement(a) == 1.0
+
+    def test_agreement_disjoint(self):
+        a = UncertainPosition.certain("A")
+        c = UncertainPosition.certain("C")
+        assert a.agreement(c) == 0.0
+
+    def test_agreement_formula(self):
+        # p1 = sum_c P(x=c) P(y=c) (Theorem 4's match probability).
+        x = UncertainPosition({"A": 0.6, "C": 0.4})
+        y = UncertainPosition({"A": 0.5, "G": 0.5})
+        assert x.agreement(y) == pytest.approx(0.6 * 0.5)
+
+    def test_agreement_symmetric(self):
+        x = UncertainPosition({"A": 0.6, "C": 0.4})
+        y = UncertainPosition({"A": 0.1, "C": 0.2, "G": 0.7})
+        assert x.agreement(y) == pytest.approx(y.agreement(x))
+
+
+class TestSampling:
+    def test_sample_respects_support(self):
+        rng = random.Random(7)
+        pos = UncertainPosition({"A": 0.5, "C": 0.5})
+        draws = {pos.sample(rng) for _ in range(50)}
+        assert draws <= {"A", "C"}
+
+    def test_sample_frequency_tracks_probability(self):
+        rng = random.Random(7)
+        pos = UncertainPosition({"A": 0.9, "C": 0.1})
+        hits = sum(pos.sample(rng) == "A" for _ in range(2000))
+        assert 1650 <= hits <= 1990
+
+
+class TestProtocol:
+    def test_equality_and_hash(self):
+        a = UncertainPosition({"A": 0.5, "C": 0.5})
+        b = UncertainPosition({"C": 0.5, "A": 0.5})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_len_is_support_size(self):
+        assert len(UncertainPosition({"A": 0.5, "C": 0.5})) == 2
+
+    def test_repr_round_trips_certain(self):
+        assert "certain" in repr(UncertainPosition.certain("A"))

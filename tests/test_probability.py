@@ -1,0 +1,64 @@
+"""Tests for the exact Pr(ed <= k) reference."""
+
+import random
+
+import pytest
+
+from repro.distance.edit import edit_distance
+from repro.distance.probability import edit_similarity_probability
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import enumerate_joint_worlds
+
+from tests.helpers import random_uncertain
+
+
+class TestExactProbability:
+    def test_deterministic_pair_is_indicator(self):
+        a = UncertainString.from_text("kitten")
+        b = UncertainString.from_text("sitting")
+        assert edit_similarity_probability(a, b, 2) == 0.0
+        assert edit_similarity_probability(a, b, 3) == 1.0
+
+    def test_matches_world_definition(self):
+        a = parse_uncertain("A{(C,0.5),(G,0.5)}TA")
+        b = parse_uncertain("{(A,0.7),(T,0.3)}CTA")
+        for k in range(4):
+            expected = sum(
+                p
+                for x, y, p in enumerate_joint_worlds(a, b)
+                if edit_distance(x, y) <= k
+            )
+            assert edit_similarity_probability(a, b, k) == pytest.approx(expected)
+
+    def test_monotone_in_k(self):
+        rng = random.Random(5)
+        a = random_uncertain(rng, 6)
+        b = random_uncertain(rng, 6)
+        probs = [edit_similarity_probability(a, b, k) for k in range(7)]
+        assert all(lo <= hi + 1e-12 for lo, hi in zip(probs, probs[1:]))
+        assert probs[6] == pytest.approx(1.0)  # k >= max length
+
+    def test_length_gap_shortcut(self):
+        a = UncertainString.from_text("AAAA")
+        b = UncertainString.from_text("A")
+        assert edit_similarity_probability(a, b, 2) == 0.0
+
+    def test_symmetry(self):
+        rng = random.Random(9)
+        a = random_uncertain(rng, 5)
+        b = random_uncertain(rng, 6)
+        for k in (1, 2, 3):
+            assert edit_similarity_probability(a, b, k) == pytest.approx(
+                edit_similarity_probability(b, a, k)
+            )
+
+    def test_rejects_negative_k(self):
+        a = UncertainString.from_text("A")
+        with pytest.raises(ValueError):
+            edit_similarity_probability(a, a, -1)
+
+    def test_pair_limit_guard(self):
+        a = parse_uncertain("{(A,0.5),(C,0.5)}" * 3)
+        with pytest.raises(ValueError, match="refusing"):
+            edit_similarity_probability(a, a, 1, pair_limit=10)

@@ -1,0 +1,81 @@
+"""End-to-end property tests: the full pipeline under randomized inputs.
+
+These are the strongest guarantees in the suite: for arbitrary tiny
+collections and thresholds, every configured pipeline must produce
+exactly the brute-force (possible-world enumeration) answer.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute import brute_force_join
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+from repro.core.search import similarity_search
+from repro.baselines.brute import brute_force_search
+
+from tests.helpers import uncertain_strings
+
+COLLECTIONS = st.lists(
+    uncertain_strings(alphabet="AC", min_length=2, max_length=5, max_uncertain=2),
+    min_size=0,
+    max_size=6,
+)
+
+SLOW = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestJoinEquivalence:
+    @given(
+        COLLECTIONS,
+        st.integers(min_value=0, max_value=2),
+        st.sampled_from([0.0, 0.05, 0.3, 0.7]),
+    )
+    @SLOW
+    def test_qfct_equals_brute_force(self, collection, k, tau):
+        config = JoinConfig(k=k, tau=tau, q=2)
+        outcome = similarity_join(collection, config)
+        expected = {(i, j) for i, j, _ in brute_force_join(collection, k, tau)}
+        assert outcome.id_pairs() == expected
+
+    @given(
+        COLLECTIONS,
+        st.integers(min_value=0, max_value=2),
+        st.sampled_from(["QT", "FCT", "T"]),
+    )
+    @SLOW
+    def test_reduced_stacks_equal_brute_force(self, collection, k, algorithm):
+        config = JoinConfig.for_algorithm(algorithm, k=k, tau=0.15, q=2)
+        outcome = similarity_join(collection, config)
+        expected = {(i, j) for i, j, _ in brute_force_join(collection, k, 0.15)}
+        assert outcome.id_pairs() == expected
+
+    @given(COLLECTIONS, st.integers(min_value=0, max_value=2))
+    @SLOW
+    def test_reported_probabilities_are_exact(self, collection, k):
+        config = JoinConfig(k=k, tau=0.1, q=2, report_probabilities=True)
+        outcome = similarity_join(collection, config)
+        truth = {
+            (i, j): p for i, j, p in brute_force_join(collection, k, 0.1)
+        }
+        for pair in outcome.pairs:
+            assert pair.probability == pytest.approx(truth[pair.ids], abs=1e-9)
+
+
+class TestSearchEquivalence:
+    @given(
+        COLLECTIONS,
+        uncertain_strings(alphabet="AC", min_length=2, max_length=5, max_uncertain=2),
+        st.integers(min_value=0, max_value=2),
+    )
+    @SLOW
+    def test_search_equals_brute_force(self, collection, query, k):
+        config = JoinConfig(k=k, tau=0.1, q=2)
+        outcome = similarity_search(collection, query, config)
+        expected = {i for i, _ in brute_force_search(collection, query, k, 0.1)}
+        assert outcome.ids() == expected

@@ -1,0 +1,70 @@
+"""Public API surface checks: everything advertised must exist and work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.uncertain",
+            "repro.distance",
+            "repro.partition",
+            "repro.filters",
+            "repro.index",
+            "repro.verify",
+            "repro.core",
+            "repro.baselines",
+            "repro.datasets",
+            "repro.report",
+            "repro.util",
+        ],
+    )
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_every_public_callable_has_docstring(self):
+        undocumented = []
+        for module_name in (
+            "repro.uncertain",
+            "repro.distance",
+            "repro.filters",
+            "repro.verify",
+            "repro.core",
+        ):
+            mod = importlib.import_module(module_name)
+            for name in getattr(mod, "__all__", []):
+                obj = getattr(mod, name)
+                if callable(obj) and not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{module_name}.{name}")
+        assert not undocumented
+
+
+class TestReadmeQuickstart:
+    def test_readme_snippet_runs(self):
+        # The exact code from README.md's Quickstart section.
+        from repro import JoinConfig, similarity_join, parse_uncertain
+
+        collection = [
+            parse_uncertain("jonathan smith"),
+            parse_uncertain("jon{(a,0.7),(o,0.3)}than smith"),
+            parse_uncertain("jennifer smith"),
+        ]
+        config = JoinConfig(k=2, tau=0.5, report_probabilities=True)
+        pairs = similarity_join(collection, config).pairs
+        assert {p.ids for p in pairs} == {(0, 1)}
+        assert pairs[0].probability == pytest.approx(1.0)

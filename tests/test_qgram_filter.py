@@ -1,0 +1,126 @@
+"""Tests for q-gram filtering with probabilistic pruning (Section 3).
+
+Includes the full Table 1 reproduction: r = GGATCC joined against the four
+uncertain strings with m=3, q=2, k=1, tau=0.25 under the table's
+symmetric selection window.
+"""
+
+import random
+
+import pytest
+
+from repro.distance.probability import edit_similarity_probability
+from repro.filters.base import FilterVerdict
+from repro.filters.qgram import QGramFilter
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+
+from tests.helpers import random_collection
+
+R_TABLE1 = UncertainString.from_text("GGATCC")
+
+# Table 1's collection, identified from the narrative alphas (Section 3.1):
+# S1 matches no segment; S2 matches one; S3 has alphas (1, 0, 0.2);
+# S4 has alphas (0.8, 0.5, 0).
+S1 = parse_uncertain("A{(C,0.5),(G,0.5)}A{(C,0.5),(G,0.5)}AC")
+S2 = parse_uncertain("AA{(G,0.9),(T,0.1)}G{(C,0.3),(G,0.2),(T,0.5)}C")
+S3 = parse_uncertain("G{(A,0.8),(G,0.2)}CT{(A,0.8),(C,0.1),(T,0.1)}C")
+S4 = parse_uncertain("{(G,0.8),(T,0.2)}GA{(C,0.3),(G,0.2),(T,0.5)}CT")
+
+TAU_TABLE1 = 0.25
+
+
+@pytest.fixture
+def table1_filter():
+    return QGramFilter(k=1, q=2, selection="window")
+
+
+class TestTable1:
+    def test_s1_matches_no_segments(self, table1_filter):
+        outcome = table1_filter.evaluate(R_TABLE1, S1)
+        assert outcome.alphas == (0.0, 0.0, 0.0)
+        assert outcome.decision(TAU_TABLE1).rejected
+
+    def test_s2_matches_one_segment(self, table1_filter):
+        outcome = table1_filter.evaluate(R_TABLE1, S2)
+        assert outcome.matched_segments == 1
+        assert outcome.required == 2
+        assert outcome.decision(TAU_TABLE1).rejected
+
+    def test_s3_alphas_and_bound(self, table1_filter):
+        outcome = table1_filter.evaluate(R_TABLE1, S3)
+        assert outcome.alphas == pytest.approx((1.0, 0.0, 0.2))
+        assert outcome.upper == pytest.approx(0.2)
+        # 0.2 < tau = 0.25: rejected despite surviving Lemma 4.
+        assert outcome.decision(TAU_TABLE1).rejected
+
+    def test_s4_alphas_and_bound(self, table1_filter):
+        outcome = table1_filter.evaluate(R_TABLE1, S4)
+        assert outcome.alphas == pytest.approx((0.8, 0.5, 0.0))
+        assert outcome.upper == pytest.approx(0.4)
+        decision = outcome.decision(TAU_TABLE1)
+        assert decision.verdict is FilterVerdict.UNDECIDED
+
+
+class TestUpperBoundSoundness:
+    def test_bound_dominates_exact_probability_deterministic_r(self):
+        # Theorem 1 is provably an upper bound when R is deterministic.
+        rng = random.Random(31)
+        qfilter = QGramFilter(k=1, q=2)
+        for _ in range(60):
+            r = UncertainString.from_text(
+                "".join(rng.choice("ACGT") for _ in range(rng.randint(4, 7)))
+            )
+            s = random_collection(rng, 1, length_range=(4, 7))[0]
+            if abs(len(r) - len(s)) > 1:
+                continue
+            outcome = qfilter.evaluate(r, s)
+            exact = edit_similarity_probability(r, s, 1)
+            assert outcome.upper >= exact - 1e-9
+
+    def test_zero_probability_pairs_fail_necessary_condition(self):
+        # Lemma 4 in contrapositive: if the filter reports a total miss,
+        # the exact probability must be 0.
+        rng = random.Random(7)
+        qfilter = QGramFilter(k=1, q=2)
+        checked = 0
+        for _ in range(80):
+            pair = random_collection(rng, 2, length_range=(4, 7))
+            left, right = pair
+            if abs(len(left) - len(right)) > 1:
+                continue
+            outcome = qfilter.evaluate(left, right)
+            if outcome.matched_segments < outcome.required:
+                checked += 1
+                assert edit_similarity_probability(left, right, 1) == 0.0
+        assert checked > 0  # the scenario actually occurred
+
+
+class TestFilterMechanics:
+    def test_length_gap_rejected(self):
+        qfilter = QGramFilter(k=1)
+        a = UncertainString.from_text("AAAA")
+        b = UncertainString.from_text("AAAAAAA")
+        assert qfilter.decide(a, b, 0.1).rejected
+
+    def test_markov_bound_mode_is_looser(self):
+        markov = QGramFilter(k=1, q=2, selection="window", bound_mode="markov")
+        paper = QGramFilter(k=1, q=2, selection="window", bound_mode="paper")
+        assert markov.evaluate(R_TABLE1, S4).upper >= paper.evaluate(R_TABLE1, S4).upper
+
+    def test_short_strings_pass_vacuously(self):
+        # Strings shorter than k + 1 cannot be pruned by the pigeonhole.
+        qfilter = QGramFilter(k=4, q=3)
+        a = UncertainString.from_text("AB"[0])
+        b = UncertainString.from_text("C")
+        outcome = qfilter.evaluate(a, b)
+        assert outcome.required <= 0
+        assert outcome.upper == 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            QGramFilter(k=-1)
+        with pytest.raises(ValueError):
+            QGramFilter(k=1, q=0)
+        with pytest.raises(ValueError):
+            QGramFilter(k=1, bound_mode="bogus")

@@ -1,0 +1,118 @@
+"""Tests for the text table / ASCII chart reporting helpers."""
+
+import pytest
+
+from repro.report.chart import bar_chart, series_chart
+from repro.report.table import TextTable, format_table
+
+
+class TestTextTable:
+    def test_renders_header_and_rows(self):
+        table = TextTable(["name", "count"])
+        table.add_row("alpha", 3)
+        table.add_row("b", 10)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        assert len(table) == 2
+
+    def test_numeric_columns_right_aligned(self):
+        table = TextTable(["label", "value"])
+        table.add_row("x", 5)
+        table.add_row("y", 12345)
+        lines = table.render().splitlines()
+        assert lines[2].endswith("    5")
+        assert lines[3].endswith("12345")
+
+    def test_named_rows(self):
+        table = TextTable(["a", "b"])
+        table.add_row(b=2, a=1)
+        assert "1" in table.render()
+
+    def test_float_precision(self):
+        table = TextTable(["v"], precision=2)
+        table.add_row(0.123456)
+        assert "0.12" in table.render()
+
+    def test_bool_rendering(self):
+        table = TextTable(["flag"])
+        table.add_row(True)
+        assert "yes" in table.render()
+
+    @pytest.mark.parametrize(
+        "action",
+        [
+            lambda t: t.add_row(1, 2, 3),
+            lambda t: t.add_row(1),
+            lambda t: t.add_row(1, b=2),
+            lambda t: t.add_row(z=1),
+        ],
+    )
+    def test_bad_rows_rejected(self, action):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            action(table)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+        with pytest.raises(ValueError):
+            TextTable(["a", "a"])
+
+
+class TestFormatTable:
+    def test_infers_columns_from_first_row(self):
+        text = format_table([{"x": 1, "y": 2.5}, {"x": 3, "y": 4.0}])
+        assert text.splitlines()[0].split() == ["x", "y"]
+
+    def test_explicit_column_subset(self):
+        text = format_table([{"x": 1, "y": 2, "z": 3}], columns=["z", "x"])
+        assert text.splitlines()[0].split() == ["z", "x"]
+
+    def test_zero_rows_without_columns_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+
+class TestBarChart:
+    def test_peak_gets_full_width(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0})
+        assert "#" not in text
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestSeriesChart:
+    def test_contains_marks_and_legend(self):
+        text = series_chart(
+            [1, 2, 3],
+            {"QFCT": [1.0, 2.0, 3.0], "FCT": [2.0, 4.0, 8.0]},
+        )
+        assert "o=QFCT" in text
+        assert "x=FCT" in text
+        assert "o" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            series_chart([1, 2], {"s": [1.0]})
+
+    def test_needs_two_x_values(self):
+        with pytest.raises(ValueError):
+            series_chart([1], {"s": [1.0]})
+
+    def test_all_zero_series(self):
+        text = series_chart([0, 1], {"s": [0.0, 0.0]})
+        assert "> x in" in text

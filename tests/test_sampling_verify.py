@@ -1,0 +1,86 @@
+"""Tests for Monte-Carlo verification."""
+
+import pytest
+
+from repro.distance.probability import edit_similarity_probability
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+from repro.verify.sampling import sampled_verify, sampled_verify_threshold
+
+from tests.helpers import random_uncertain
+import random
+
+
+class TestEstimator:
+    def test_deterministic_pair_is_exact(self):
+        a = UncertainString.from_text("kitten")
+        b = UncertainString.from_text("sitting")
+        assert sampled_verify(a, b, 3, samples=8, rng=0) == 1.0
+        assert sampled_verify(a, b, 2, samples=8, rng=0) == 0.0
+
+    def test_converges_to_exact_probability(self):
+        rng = random.Random(3)
+        a = random_uncertain(rng, 6, theta=0.5)
+        b = random_uncertain(rng, 6, theta=0.5)
+        exact = edit_similarity_probability(a, b, 2)
+        estimate = sampled_verify(a, b, 2, samples=20_000, rng=1)
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_length_gap_short_circuit(self):
+        a = UncertainString.from_text("A")
+        b = UncertainString.from_text("AAAAA")
+        assert sampled_verify(a, b, 1, samples=4, rng=0) == 0.0
+
+    def test_rejects_bad_arguments(self):
+        a = UncertainString.from_text("A")
+        with pytest.raises(ValueError):
+            sampled_verify(a, a, -1)
+        with pytest.raises(ValueError):
+            sampled_verify(a, a, 1, samples=0)
+
+
+class TestThresholdDecision:
+    def test_confident_accept(self):
+        s = parse_uncertain("ACGT{(A,0.9),(C,0.1)}ACGT")
+        decision = sampled_verify_threshold(s, s, 2, tau=0.3, rng=7)
+        assert decision.similar
+        assert decision.confident
+        assert bool(decision)
+
+    def test_confident_reject(self):
+        a = UncertainString.from_text("AAAAAAAA")
+        b = parse_uncertain("CCCCCCC{(C,0.9),(A,0.1)}")
+        decision = sampled_verify_threshold(a, b, 2, tau=0.3, rng=7)
+        assert not decision.similar
+        assert decision.confident
+
+    def test_knife_edge_exhausts_budget_without_confidence(self):
+        # Pr(ed <= 0) == 0.5 exactly == tau-ish: no confident margin.
+        a = parse_uncertain("{(A,0.5),(C,0.5)}")
+        b = UncertainString.from_text("A")
+        decision = sampled_verify_threshold(
+            a, b, 0, tau=0.5, max_samples=2048, rng=11
+        )
+        assert not decision.confident
+        assert decision.samples == 2048
+
+    def test_matches_exact_decision_on_clear_margins(self):
+        rng = random.Random(19)
+        checked = 0
+        for _ in range(25):
+            a = random_uncertain(rng, 5, theta=0.4)
+            b = random_uncertain(rng, 5, theta=0.4)
+            exact = edit_similarity_probability(a, b, 1)
+            if abs(exact - 0.25) < 0.1:
+                continue  # demand a clear margin for the confident test
+            checked += 1
+            decision = sampled_verify_threshold(a, b, 1, tau=0.25, rng=rng)
+            assert decision.similar == (exact > 0.25)
+        assert checked > 5
+
+    def test_rejects_bad_arguments(self):
+        a = UncertainString.from_text("A")
+        with pytest.raises(ValueError):
+            sampled_verify_threshold(a, a, 1, tau=1.0)
+        with pytest.raises(ValueError):
+            sampled_verify_threshold(a, a, 1, tau=0.5, delta=0.0)

@@ -1,0 +1,63 @@
+"""Tests for similarity search over an indexed collection."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute import brute_force_search
+from repro.core.config import JoinConfig
+from repro.core.search import SimilaritySearcher, similarity_search
+from repro.uncertain.string import UncertainString
+
+from tests.helpers import random_collection, random_uncertain
+
+
+class TestSearchCorrectness:
+    @pytest.mark.parametrize("algorithm", ["QFCT", "FCT", "QT"])
+    def test_matches_brute_force(self, algorithm):
+        rng = random.Random(len(algorithm))
+        collection = random_collection(rng, 12, length_range=(4, 7))
+        config = JoinConfig.for_algorithm(algorithm, k=1, tau=0.1, q=2)
+        searcher = SimilaritySearcher(collection, config)
+        for _ in range(4):
+            query = random_uncertain(rng, rng.randint(4, 7))
+            got = searcher.search(query).ids()
+            expected = {i for i, _ in brute_force_search(collection, query, 1, 0.1)}
+            assert got == expected
+
+    def test_deterministic_query(self):
+        rng = random.Random(42)
+        collection = random_collection(rng, 10, length_range=(4, 6))
+        query = UncertainString.from_text("ACGTA")
+        config = JoinConfig(k=2, tau=0.05, q=2)
+        got = similarity_search(collection, query, config).ids()
+        expected = {i for i, _ in brute_force_search(collection, query, 2, 0.05)}
+        assert got == expected
+
+    def test_probabilities_reported(self):
+        rng = random.Random(3)
+        collection = random_collection(rng, 8, length_range=(4, 6))
+        query = random_uncertain(rng, 5)
+        config = JoinConfig(k=2, tau=0.1, q=2, report_probabilities=True)
+        outcome = similarity_search(collection, query, config)
+        truth = dict(brute_force_search(collection, query, 2, 0.1))
+        for match in outcome.matches:
+            assert match.probability == pytest.approx(
+                truth[match.string_id], abs=1e-9
+            )
+
+
+class TestSearcherReuse:
+    def test_many_queries_one_index(self):
+        rng = random.Random(6)
+        collection = random_collection(rng, 10, length_range=(4, 6))
+        searcher = SimilaritySearcher(collection, JoinConfig(k=1, tau=0.1, q=2))
+        results = [
+            searcher.search(random_uncertain(rng, 5)).ids() for _ in range(5)
+        ]
+        assert len(results) == 5  # no state corruption across queries
+
+    def test_empty_collection(self):
+        searcher = SimilaritySearcher([], JoinConfig(k=1, tau=0.1))
+        outcome = searcher.search(UncertainString.from_text("AC"))
+        assert outcome.matches == []

@@ -1,0 +1,115 @@
+"""Tests for position-aware substring selection.
+
+The load-bearing property is *completeness*: if ed(r, s) <= k, then for
+every optimal alignment at least m - k segments of s are preserved, and a
+preserved segment's image in r must start inside the selection window.
+We check the end-to-end consequence: counting matching windows per
+segment never reports fewer than m - k matches for truly similar pairs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.edit import edit_distance
+from repro.partition.even import partition_for
+from repro.partition.selection import (
+    SELECTION_MODES,
+    selection_start_range,
+    substring_starts,
+)
+
+
+def matched_segment_count(r: str, s: str, k: int, q: int, mode: str) -> int:
+    """How many segments of s find a window match in r via the selection."""
+    segments = partition_for(len(s), q, k)
+    m = len(segments)
+    matched = 0
+    for seg in segments:
+        piece = s[seg.start : seg.end]
+        for start in substring_starts(seg, len(r), len(s), k, m, mode):
+            if r[start : start + seg.length] == piece:
+                matched += 1
+                break
+    return matched
+
+
+class TestRangeShape:
+    def test_paper_shift_formula(self):
+        # pos=0 (first segment), |r| = |s|, k = 2: shift in [-1, 1].
+        segments = partition_for(9, 3, 2)
+        lo, hi = selection_start_range(segments[1], 9, 9, 2, len(segments), "shift")
+        # segment 2 starts at 3: window [3 - 1, 3 + 1].
+        assert (lo, hi) == (2, 4)
+
+    def test_window_mode_is_symmetric_k(self):
+        segments = partition_for(6, 2, 1)
+        lo, hi = selection_start_range(segments[1], 6, 6, 1, 3, "window")
+        assert (lo, hi) == (1, 3)
+
+    def test_shift_range_bounded_by_k_plus_one(self):
+        for k in range(5):
+            for delta in range(-k, k + 1):
+                s_len, r_len = 20, 20 + delta
+                segments = partition_for(s_len, 3, k)
+                for seg in segments:
+                    starts = substring_starts(seg, r_len, s_len, k, len(segments), "shift")
+                    assert len(starts) <= k + 1
+
+    def test_multimatch_never_wider_than_shift(self):
+        for k in (1, 2, 3):
+            segments = partition_for(15, 3, k)
+            for seg in segments:
+                shift = set(substring_starts(seg, 16, 15, k, len(segments), "shift"))
+                multi = set(substring_starts(seg, 16, 15, k, len(segments), "multimatch"))
+                assert multi <= shift
+
+    def test_clipped_to_valid_positions(self):
+        segments = partition_for(6, 2, 3)
+        for seg in segments:
+            for mode in SELECTION_MODES:
+                for start in substring_starts(seg, 6, 6, 3, len(segments), mode):
+                    assert 0 <= start <= 6 - seg.length
+
+    def test_unknown_mode_rejected(self):
+        segments = partition_for(6, 2, 1)
+        with pytest.raises(ValueError):
+            selection_start_range(segments[0], 6, 6, 1, 3, "bogus")  # type: ignore[arg-type]
+
+
+WORDS = st.text(alphabet="ab", min_size=4, max_size=14)
+
+
+class TestCompleteness:
+    @given(WORDS, WORDS, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=300)
+    def test_shift_selection_complete(self, r, s, k):
+        # Lemma 1: similar pairs must match >= m - k segments through the
+        # selected windows.
+        if abs(len(r) - len(s)) > k or edit_distance(r, s) > k:
+            return
+        m = len(partition_for(len(s), 2, k))
+        assert matched_segment_count(r, s, k, 2, "shift") >= m - k
+
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_shift_selection_complete_under_random_edits(self, data):
+        rng = random.Random(data.draw(st.integers(min_value=0, max_value=10_000)))
+        s = "".join(rng.choice("abcd") for _ in range(rng.randint(6, 20)))
+        k = rng.randint(1, 4)
+        r = s
+        for _ in range(rng.randint(0, k)):
+            pos = rng.randrange(max(1, len(r)))
+            op = rng.randrange(3)
+            if op == 0 and len(r) > 1:
+                r = r[:pos] + r[pos + 1 :]
+            elif op == 1:
+                r = r[:pos] + rng.choice("abcd") + r[pos:]
+            else:
+                r = r[:pos] + rng.choice("abcd") + r[pos + 1 :]
+        if abs(len(r) - len(s)) > k:
+            return
+        m = len(partition_for(len(s), 3, k))
+        assert matched_segment_count(r, s, k, 3, "shift") >= m - k

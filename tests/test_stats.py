@@ -1,0 +1,50 @@
+"""Tests for JoinStatistics bookkeeping."""
+
+import pytest
+
+from repro.core.stats import JoinStatistics
+from repro.filters.qgram import QGramOutcome
+
+
+class TestTimers:
+    def test_timer_created_on_demand_and_reused(self):
+        stats = JoinStatistics()
+        first = stats.timer("qgram")
+        assert stats.timer("qgram") is first
+
+    def test_seconds_zero_for_unknown_stage(self):
+        assert JoinStatistics().seconds("nope") == 0.0
+
+    def test_filtering_seconds_aggregates_stages(self):
+        stats = JoinStatistics()
+        stats.timer("qgram").add(1.0)
+        stats.timer("frequency").add(0.5)
+        stats.timer("cdf").add(0.25)
+        stats.timer("index").add(0.25)
+        stats.timer("verification").add(9.0)
+        assert stats.filtering_seconds == pytest.approx(2.0)
+        assert stats.verification_seconds == pytest.approx(9.0)
+
+    def test_summary_mentions_all_counters(self):
+        stats = JoinStatistics(total_strings=5, result_pairs=2)
+        text = stats.summary()
+        for fragment in ("strings", "qgram", "frequency", "cdf", "result pairs"):
+            assert fragment in text
+
+
+class TestQGramOutcome:
+    def test_segment_count(self):
+        outcome = QGramOutcome(
+            alphas=(0.5, 0.0, 1.0), matched_segments=2, required=2, upper=0.5
+        )
+        assert outcome.segment_count == 3
+
+    def test_decision_reasons_are_informative(self):
+        failing = QGramOutcome(
+            alphas=(0.0, 0.0, 0.0), matched_segments=0, required=2, upper=0.0
+        )
+        assert "Lemma 4" in failing.decision(0.1).reason
+        bounded = QGramOutcome(
+            alphas=(0.3, 0.3, 0.3), matched_segments=3, required=2, upper=0.05
+        )
+        assert "Theorem 2" in bounded.decision(0.1).reason

@@ -1,0 +1,110 @@
+"""Tests for the string-level uncertainty model and conversions."""
+
+import pytest
+
+from repro.distance.eed import expected_edit_distance as eed_char
+from repro.distance.probability import edit_similarity_probability
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string_level import (
+    StringLevelUncertain,
+    expected_edit_distance,
+    from_character_level,
+    similarity_probability,
+    to_character_level,
+)
+
+
+class TestConstruction:
+    def test_instances_sorted_by_probability(self):
+        s = StringLevelUncertain([("abc", 0.2), ("abd", 0.8)])
+        assert s.instances[0] == ("abd", 0.8)
+
+    def test_duplicates_merged(self):
+        s = StringLevelUncertain([("abc", 0.5), ("abc", 0.5)])
+        assert len(s) == 1
+        assert s.probability("abc") == pytest.approx(1.0)
+
+    def test_mixed_lengths_allowed(self):
+        s = StringLevelUncertain([("ab", 0.5), ("abcd", 0.5)])
+        assert s.lengths() == {2, 4}
+        assert s.expected_length() == pytest.approx(3.0)
+
+    def test_certain(self):
+        s = StringLevelUncertain.certain("xyz")
+        assert s.probability("xyz") == 1.0
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            StringLevelUncertain([("a", 0.5)])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            StringLevelUncertain([("a", 1.5), ("b", -0.5)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="instances"):
+            StringLevelUncertain([])
+
+    def test_sample_is_instance(self):
+        s = StringLevelUncertain([("ab", 0.5), ("cd", 0.5)])
+        assert s.sample(rng=1) in {"ab", "cd"}
+
+
+class TestConversions:
+    def test_character_to_string_level_exact(self):
+        char = parse_uncertain("A{(C,0.6),(G,0.4)}T")
+        converted = from_character_level(char)
+        assert converted.probability("ACT") == pytest.approx(0.6)
+        assert converted.probability("AGT") == pytest.approx(0.4)
+
+    def test_round_trip_through_string_level(self):
+        char = parse_uncertain("{(A,0.7),(C,0.3)}G{(T,0.5),(A,0.5)}")
+        back = to_character_level(from_character_level(char))
+        for world, prob in from_character_level(char):
+            assert back.instance_probability(world) == pytest.approx(prob)
+
+    def test_mixed_length_conversion_rejected(self):
+        s = StringLevelUncertain([("ab", 0.5), ("abc", 0.5)])
+        with pytest.raises(ValueError, match="mixed-length"):
+            to_character_level(s)
+
+    def test_correlated_instances_rejected_when_strict(self):
+        # Pr(AA)=Pr(BB)=0.5 is not a product of marginals.
+        s = StringLevelUncertain([("AA", 0.5), ("BB", 0.5)])
+        with pytest.raises(ValueError, match="marginals"):
+            to_character_level(s)
+        approx = to_character_level(s, strict=False)
+        assert approx.instance_probability("AB") == pytest.approx(0.25)
+
+
+class TestSemantics:
+    def test_similarity_probability_matches_character_level(self):
+        left = parse_uncertain("A{(C,0.6),(G,0.4)}TA")
+        right = parse_uncertain("{(A,0.7),(T,0.3)}CTA")
+        for k in (0, 1, 2):
+            expected = edit_similarity_probability(left, right, k)
+            got = similarity_probability(
+                from_character_level(left), from_character_level(right), k
+            )
+            assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_similarity_with_length_variation(self):
+        # Only the string-level model can express deletion uncertainty.
+        left = StringLevelUncertain([("abc", 0.5), ("abcd", 0.5)])
+        right = StringLevelUncertain.certain("abcd")
+        assert similarity_probability(left, right, 0) == pytest.approx(0.5)
+        assert similarity_probability(left, right, 1) == pytest.approx(1.0)
+
+    def test_eed_matches_character_level(self):
+        left = parse_uncertain("A{(C,0.6),(G,0.4)}T")
+        right = parse_uncertain("AC{(T,0.8),(G,0.2)}")
+        expected = eed_char(left, right)
+        got = expected_edit_distance(
+            from_character_level(left), from_character_level(right)
+        )
+        assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_rejects_negative_k(self):
+        s = StringLevelUncertain.certain("a")
+        with pytest.raises(ValueError):
+            similarity_probability(s, s, -1)

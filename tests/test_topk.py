@@ -1,0 +1,76 @@
+"""Tests for the adaptive top-N similarity join."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute import brute_force_join
+from repro.core.config import JoinConfig
+from repro.core.topk import top_k_join
+from repro.uncertain.string import UncertainString
+
+from tests.helpers import random_collection
+
+
+def brute_top(collection, k, count):
+    ranked = sorted(
+        brute_force_join(collection, k, 0.0), key=lambda t: -t[2]
+    )
+    return ranked[:count]
+
+
+class TestTopK:
+    @pytest.mark.parametrize("seed,count", [(0, 3), (1, 5), (2, 1)])
+    def test_matches_brute_force_ranking(self, seed, count):
+        rng = random.Random(seed)
+        collection = random_collection(rng, 12, length_range=(4, 7))
+        outcome = top_k_join(collection, k=1, count=count, q=2)
+        expected = brute_top(collection, 1, count)
+        assert len(outcome.pairs) == min(count, len(expected))
+        got_probs = [p.probability for p in outcome.pairs]
+        expected_probs = [p for _, _, p in expected]
+        assert got_probs == pytest.approx(expected_probs, abs=1e-9)
+        # Pair identity may differ only among exact probability ties.
+        for pair, (i, j, prob) in zip(outcome.pairs, expected):
+            if expected_probs.count(prob) == 1:
+                assert pair.ids == (i, j)
+
+    def test_fewer_pairs_than_requested(self):
+        collection = [
+            UncertainString.from_text("AAAA"),
+            UncertainString.from_text("AAAC"),
+            UncertainString.from_text("GGGGGGGG"),
+        ]
+        outcome = top_k_join(collection, k=1, count=10, q=2)
+        assert [p.ids for p in outcome.pairs] == [(0, 1)]
+
+    def test_results_sorted_descending(self):
+        rng = random.Random(8)
+        collection = random_collection(rng, 10, length_range=(4, 6))
+        outcome = top_k_join(collection, k=2, count=6, q=2)
+        probs = [p.probability for p in outcome.pairs]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_without_qgram_stack(self):
+        rng = random.Random(3)
+        collection = random_collection(rng, 10, length_range=(4, 6))
+        config = JoinConfig.for_algorithm("FCT", k=1, tau=0.0, q=2)
+        outcome = top_k_join(collection, k=1, count=4, q=2, config=config)
+        expected = brute_top(collection, 1, 4)
+        assert [p.probability for p in outcome.pairs] == pytest.approx(
+            [p for _, _, p in expected], abs=1e-9
+        )
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            top_k_join([], k=1, count=0)
+        with pytest.raises(ValueError, match="must match"):
+            top_k_join([], k=1, count=1, config=JoinConfig(k=2, tau=0.0))
+
+    def test_zero_probability_pairs_excluded(self):
+        collection = [
+            UncertainString.from_text("AAAA"),
+            UncertainString.from_text("CCCC"),
+        ]
+        outcome = top_k_join(collection, k=1, count=5, q=2)
+        assert outcome.pairs == []

@@ -1,0 +1,46 @@
+"""Tests for the instance trie."""
+
+import pytest
+
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import enumerate_worlds
+from repro.verify.trie import build_trie
+
+
+class TestBuildTrie:
+    def test_deterministic_string_is_a_path(self):
+        trie = build_trie(UncertainString.from_text("ACGT"))
+        assert trie.node_count == 5  # root + 4
+        leaves = list(trie.leaves())
+        assert leaves[0][0] == "ACGT"
+        assert leaves[0][1].prob == pytest.approx(1.0)
+
+    def test_leaves_enumerate_worlds(self):
+        s = parse_uncertain("A{(C,0.6),(G,0.4)}T{(A,0.9),(C,0.1)}")
+        trie = build_trie(s)
+        from_trie = {text: node.prob for text, node in trie.leaves()}
+        from_worlds = dict(enumerate_worlds(s))
+        assert set(from_trie) == set(from_worlds)
+        for text, prob in from_worlds.items():
+            assert from_trie[text] == pytest.approx(prob)
+
+    def test_prefix_probabilities_are_marginals(self):
+        s = parse_uncertain("{(A,0.7),(C,0.3)}{(G,0.5),(T,0.5)}")
+        trie = build_trie(s)
+        a_child = trie.root.children["A"]
+        assert a_child.prob == pytest.approx(0.7)
+        assert a_child.children["G"].prob == pytest.approx(0.35)
+
+    def test_node_count_accounts_shared_prefixes(self):
+        s = parse_uncertain("A{(C,0.5),(G,0.5)}{(A,0.5),(T,0.5)}")
+        trie = build_trie(s)
+        # root + 1 + 2 + 4
+        assert trie.node_count == 8
+
+    def test_depths(self):
+        s = parse_uncertain("A{(C,0.5),(G,0.5)}")
+        trie = build_trie(s)
+        assert trie.root.depth == 0
+        assert trie.root.children["A"].depth == 1
+        assert trie.length == 2

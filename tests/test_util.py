@@ -1,0 +1,93 @@
+"""Tests for the shared utility modules."""
+
+import random
+import time
+
+import pytest
+
+from repro.util.rng import ensure_rng
+from repro.util.timing import Stopwatch
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seeds_deterministically(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_generator_passed_through(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="rng must be"):
+            ensure_rng(3.14)  # type: ignore[arg-type]
+
+
+class TestStopwatch:
+    def test_accumulates_intervals(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed > first
+
+    def test_stop_idempotent(self):
+        watch = Stopwatch()
+        watch.start()
+        total = watch.stop()
+        assert watch.stop() == total
+
+    def test_elapsed_while_running(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        assert watch.elapsed > 0
+        watch.stop()
+
+    def test_start_while_running_is_noop(self):
+        watch = Stopwatch().start()
+        watch.start()
+        watch.stop()
+        assert watch.elapsed >= 0
+
+    def test_add(self):
+        watch = Stopwatch()
+        watch.add(1.5)
+        assert watch.elapsed == pytest.approx(1.5)
+
+
+class TestValidators:
+    def test_check_type_accepts(self):
+        check_type(3, int, "x")
+        check_type("s", (int, str), "x")
+
+    def test_check_type_rejects_with_names(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("s", int, "x")
+        with pytest.raises(TypeError, match="int | str"):
+            check_type(1.0, (int, str), "x")
+
+    def test_check_non_negative(self):
+        check_non_negative(0, "n")
+        with pytest.raises(ValueError, match="n must be non-negative"):
+            check_non_negative(-1, "n")
+
+    def test_check_positive(self):
+        check_positive(1, "n")
+        with pytest.raises(ValueError, match="n must be positive"):
+            check_positive(0, "n")
+
+    def test_check_probability(self):
+        check_probability(0.0, "p")
+        check_probability(1.0, "p")
+        with pytest.raises(ValueError, match="p must be a probability"):
+            check_probability(1.5, "p")

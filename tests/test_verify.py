@@ -1,0 +1,119 @@
+"""Tests for trie-based and naive verification (Sections 6.2, 7.7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.probability import edit_similarity_probability
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+from repro.verify.naive import naive_verify, naive_verify_threshold
+from repro.verify.trie import build_trie
+from repro.verify.trie_verify import (
+    VerificationStats,
+    trie_verify,
+    trie_verify_threshold,
+)
+
+from tests.helpers import random_uncertain, uncertain_strings
+
+
+class TestAgreementWithReference:
+    @given(
+        uncertain_strings(max_length=6),
+        uncertain_strings(max_length=6),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_trie_equals_enumeration(self, left, right, k):
+        expected = edit_similarity_probability(left, right, k)
+        assert trie_verify(left, right, k) == pytest.approx(expected, abs=1e-9)
+
+    @given(
+        uncertain_strings(max_length=6),
+        uncertain_strings(max_length=6),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_naive_equals_enumeration(self, left, right, k):
+        expected = edit_similarity_probability(left, right, k)
+        assert naive_verify(left, right, k) == pytest.approx(expected, abs=1e-9)
+
+    def test_trie_handles_length_gap(self):
+        a = UncertainString.from_text("AC")
+        b = UncertainString.from_text("ACGTT")
+        assert trie_verify(a, b, 2) == 0.0
+        assert trie_verify(a, b, 3) == 1.0
+
+
+class TestThresholdDecisions:
+    @given(
+        uncertain_strings(max_length=5),
+        uncertain_strings(max_length=5),
+        st.integers(min_value=0, max_value=3),
+        st.floats(min_value=0.0, max_value=0.95, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_early_stop_matches_exact_decision(self, left, right, k, tau):
+        exact = edit_similarity_probability(left, right, k)
+        if abs(exact - tau) < 1e-9:
+            return  # knife-edge float ties are unspecified
+        assert trie_verify_threshold(left, right, k, tau) == (exact > tau)
+        assert naive_verify_threshold(left, right, k, tau) == (exact > tau)
+
+    def test_accept_short_circuits(self):
+        # Identical certain prefix pushes the accumulated mass over tau
+        # before all of S's worlds are expanded.
+        s = parse_uncertain("AAAA{(C,0.5),(G,0.5)}{(C,0.5),(G,0.5)}")
+        stats = VerificationStats()
+        assert trie_verify_threshold(s, s, 2, 0.1, stats=stats)
+        assert stats.early_stop
+
+
+class TestTrieReuse:
+    def test_prebuilt_trie_shared_across_candidates(self):
+        rng = random.Random(5)
+        left = random_uncertain(rng, 6, theta=0.4)
+        trie = build_trie(left)
+        for _ in range(5):
+            right = random_uncertain(rng, 6, theta=0.4)
+            expected = edit_similarity_probability(left, right, 2)
+            assert trie_verify(left, right, 2, left_trie=trie) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_wrong_trie_rejected(self):
+        a = UncertainString.from_text("ACGT")
+        b = UncertainString.from_text("ACG")
+        with pytest.raises(ValueError, match="left_trie"):
+            trie_verify(b, a, 1, left_trie=build_trie(a))
+
+
+class TestOnDemandPruning:
+    def test_dissimilar_prefixes_are_pruned(self):
+        # S's subtree under a hopeless prefix must not be expanded.
+        left = UncertainString.from_text("AAAAAAA")
+        right = parse_uncertain("{(C,0.5),(G,0.5)}CCCC{(C,0.5),(G,0.5)}C")
+        stats = VerificationStats()
+        result = trie_verify(left, right, 1, stats=stats)
+        assert result == 0.0
+        assert stats.pruned_prefixes > 0
+        # 4 worlds exist but none should reach leaf depth.
+        assert stats.leaf_instances == 0
+
+    def test_stats_count_leaves_for_similar_pair(self):
+        s = parse_uncertain("ACGT{(A,0.5),(C,0.5)}")
+        stats = VerificationStats()
+        trie_verify(s, s, 4, stats=stats)
+        assert stats.leaf_instances == 2  # both worlds of S reach the leaves
+
+
+class TestValidation:
+    def test_rejects_negative_k(self):
+        a = UncertainString.from_text("A")
+        with pytest.raises(ValueError):
+            trie_verify(a, a, -1)
+        with pytest.raises(ValueError):
+            naive_verify(a, a, -1)

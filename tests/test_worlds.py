@@ -1,0 +1,75 @@
+"""Tests for possible-world enumeration."""
+
+import random
+
+import pytest
+
+from repro.uncertain.parser import parse_uncertain
+from repro.uncertain.string import UncertainString
+from repro.uncertain.worlds import (
+    enumerate_joint_worlds,
+    enumerate_worlds,
+    sample_world,
+    world_count,
+)
+
+
+@pytest.fixture
+def two_uncertain():
+    return parse_uncertain("{(A,0.6),(C,0.4)}G{(T,0.9),(A,0.1)}")
+
+
+class TestEnumerateWorlds:
+    def test_counts(self, two_uncertain):
+        worlds = list(enumerate_worlds(two_uncertain))
+        assert len(worlds) == 4
+        assert world_count(two_uncertain) == 4
+
+    def test_probabilities_sum_to_one(self, two_uncertain):
+        assert sum(p for _, p in enumerate_worlds(two_uncertain)) == pytest.approx(1.0)
+
+    def test_each_world_probability_is_product(self, two_uncertain):
+        worlds = dict(enumerate_worlds(two_uncertain))
+        assert worlds["AGT"] == pytest.approx(0.6 * 0.9)
+        assert worlds["CGA"] == pytest.approx(0.4 * 0.1)
+
+    def test_deterministic_string_single_world(self):
+        worlds = list(enumerate_worlds(UncertainString.from_text("AC")))
+        assert worlds == [("AC", 1.0)]
+
+    def test_order_is_most_probable_first_per_position(self, two_uncertain):
+        worlds = [w for w, _ in enumerate_worlds(two_uncertain)]
+        assert worlds[0] == "AGT"  # modal instance first
+
+    def test_limit_guard(self):
+        s = parse_uncertain("{(A,0.5),(C,0.5)}" * 4)
+        with pytest.raises(ValueError, match="refusing"):
+            list(enumerate_worlds(s, limit=8))
+        assert len(list(enumerate_worlds(s, limit=None))) == 16
+
+
+class TestJointWorlds:
+    def test_joint_probabilities_sum_to_one(self, two_uncertain):
+        other = parse_uncertain("A{(C,0.3),(G,0.7)}")
+        total = sum(p for _, _, p in enumerate_joint_worlds(two_uncertain, other))
+        assert total == pytest.approx(1.0)
+
+    def test_joint_is_product_of_marginals(self, two_uncertain):
+        other = parse_uncertain("A{(C,0.3),(G,0.7)}")
+        for left, right, prob in enumerate_joint_worlds(two_uncertain, other):
+            expected = two_uncertain.instance_probability(
+                left
+            ) * other.instance_probability(right)
+            assert prob == pytest.approx(expected)
+
+    def test_joint_limit_guard(self, two_uncertain):
+        with pytest.raises(ValueError, match="joint"):
+            list(enumerate_joint_worlds(two_uncertain, two_uncertain, limit=8))
+
+
+class TestSampling:
+    def test_sample_world_valid(self, two_uncertain):
+        rng = random.Random(11)
+        for _ in range(10):
+            text = sample_world(two_uncertain, rng)
+            assert two_uncertain.instance_probability(text) > 0
