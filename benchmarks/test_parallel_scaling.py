@@ -1,0 +1,73 @@
+"""Serial vs. length-banded parallel self-join wall clock.
+
+Runs the fig3 dblp dataset through the serial driver and the parallel
+driver at workers ∈ {2, 4}, recording wall-clock seconds and asserting
+the acceptance property: the parallel pair list is byte-identical to
+the serial one (same pairs, same order, same probabilities). Speedup on
+a single-core container is expectedly ~1x or below (process spawn +
+halo duplication); the row series documents the overhead so multi-core
+runs can be compared against it.
+"""
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+from repro.core.parallel import parallel_similarity_join
+
+from benchmarks.conftest import dblp, run_once
+
+EXPERIMENT = "parallel_scaling"
+
+SIZE = 200
+WORKERS = (2, 4)
+
+_serial_outcome = {}
+
+
+def _serial(collection):
+    key = id(collection)
+    if key not in _serial_outcome:
+        _serial_outcome[key] = similarity_join(
+            collection, JoinConfig(k=2, tau=0.1)
+        )
+    return _serial_outcome[key]
+
+
+def test_serial_baseline(benchmark, experiment_log):
+    collection = dblp(SIZE)
+    outcome = run_once(benchmark, lambda: _serial(collection))
+    experiment_log.header(
+        f"dblp size={SIZE} k=2 tau=0.1 QFCT — serial vs length-banded parallel"
+    )
+    experiment_log.row(
+        workers=1,
+        results=outcome.stats.result_pairs,
+        total_seconds=outcome.stats.total_seconds,
+        band_cpu_seconds=0.0,
+        identical=True,
+    )
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+def test_parallel_scaling(benchmark, experiment_log, workers):
+    collection = dblp(SIZE)
+    serial = _serial(collection)
+    config = JoinConfig(k=2, tau=0.1, workers=workers)
+
+    outcome = run_once(
+        benchmark,
+        lambda: parallel_similarity_join(collection, config, min_parallel=0),
+    )
+
+    assert outcome.pairs == serial.pairs
+    assert [p.probability for p in outcome.pairs] == [
+        p.probability for p in serial.pairs
+    ]
+    experiment_log.row(
+        workers=workers,
+        results=outcome.stats.result_pairs,
+        total_seconds=outcome.stats.total_seconds,
+        band_cpu_seconds=outcome.stats.seconds("bands"),
+        identical=outcome.pairs == serial.pairs,
+    )

@@ -33,6 +33,8 @@ from repro.core import (
     SearchMatch,
     SearchOutcome,
     SimilaritySearcher,
+    parallel_similarity_join,
+    parallel_similarity_join_two,
     similarity_join,
     similarity_join_two,
     similarity_search,
@@ -70,6 +72,8 @@ __all__ = [
     "SimilaritySearcher",
     "similarity_join",
     "similarity_join_two",
+    "parallel_similarity_join",
+    "parallel_similarity_join_two",
     "similarity_search",
     "edit_distance",
     "edit_distance_within",

@@ -51,6 +51,13 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         help="verify every result pair and report its exact probability",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the length-banded parallel join "
+        "driver (default 1 = serial; results are identical)",
+    )
+    parser.add_argument(
         "--stats", action="store_true", help="print pipeline statistics"
     )
 
@@ -62,6 +69,7 @@ def _config(args: argparse.Namespace) -> JoinConfig:
         tau=args.tau,
         q=args.q,
         report_probabilities=args.probabilities,
+        workers=getattr(args, "workers", 1),
     )
 
 

@@ -12,6 +12,12 @@ from repro.core.stats import JoinStatistics
 from repro.core.incremental import IncrementalJoiner
 from repro.core.join import similarity_join
 from repro.core.join_two import similarity_join_two
+from repro.core.parallel import (
+    LengthBand,
+    parallel_similarity_join,
+    parallel_similarity_join_two,
+    plan_length_bands,
+)
 from repro.core.search import SimilaritySearcher, similarity_search
 from repro.core.topk import top_k_join
 
@@ -20,11 +26,15 @@ __all__ = [
     "JoinConfig",
     "JoinOutcome",
     "JoinPair",
+    "LengthBand",
     "SearchMatch",
     "SearchOutcome",
     "JoinStatistics",
     "similarity_join",
     "similarity_join_two",
+    "parallel_similarity_join",
+    "parallel_similarity_join_two",
+    "plan_length_bands",
     "SimilaritySearcher",
     "similarity_search",
     "IncrementalJoiner",

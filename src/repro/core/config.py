@@ -57,6 +57,12 @@ class JoinConfig:
         report ``probability=None``.
     early_stop_verification:
         Let verification stop as soon as the τ decision is known.
+    workers:
+        Process-level parallelism of the join drivers. ``1`` (default)
+        runs the sequential visit loop; ``> 1`` shards the collection
+        into contiguous length bands (plus a k-wide halo) handled by
+        :mod:`repro.core.parallel`. The result pair list is identical
+        either way.
     """
 
     k: int
@@ -69,6 +75,7 @@ class JoinConfig:
     bound_mode: str = "paper"
     report_probabilities: bool = False
     early_stop_verification: bool = True
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -92,6 +99,10 @@ class JoinConfig:
             raise ValueError(f"unknown group mode {self.group_mode!r}")
         if self.bound_mode not in ("paper", "markov"):
             raise ValueError(f"unknown bound mode {self.bound_mode!r}")
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise ValueError(f"workers must be an int, got {self.workers!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     @classmethod
     def for_algorithm(cls, name: str, k: int, tau: float, **overrides) -> "JoinConfig":

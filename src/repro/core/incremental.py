@@ -74,7 +74,7 @@ class IncrementalJoiner:
                 if abs(length - len(string)) <= config.k
                 for other in ids
             ]
-            self.stats.qgram_survivors += len(candidates)
+            self.stats.length_survivors += len(candidates)
 
         pairs: list[JoinPair] = []
         for other_id in sorted(candidates):

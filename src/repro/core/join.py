@@ -29,7 +29,15 @@ def similarity_join(
     Returns a :class:`JoinOutcome` whose pairs are keyed by positions in
     ``collection`` (``left_id < right_id``) and whose stats carry the
     per-stage counters/timers the benchmarks report.
+
+    With ``config.workers > 1`` the work is delegated to the
+    length-banded parallel driver (:mod:`repro.core.parallel`), which
+    produces an identical pair list.
     """
+    if config.workers > 1:
+        from repro.core.parallel import parallel_similarity_join
+
+        return parallel_similarity_join(collection, config)
     stats = JoinStatistics(total_strings=len(collection))
     refiner = CandidateRefiner(config, stats)
     index = (
@@ -76,7 +84,7 @@ def similarity_join(
             for other_length, ranks in visited_by_length.items():
                 if abs(other_length - length) <= config.k:
                     candidates.extend((other, None) for other in ranks)
-            stats.qgram_survivors += len(candidates)
+            stats.length_survivors += len(candidates)
 
         for other_rank, _upper in sorted(candidates):
             other_id = rank_to_id[other_rank]

@@ -28,7 +28,15 @@ def similarity_join_two(
 
     Result pairs carry ``left_id`` from ``left`` and ``right_id`` from
     ``right`` (no ordering constraint between the two id spaces).
+
+    With ``config.workers > 1`` the right collection is sharded into
+    length bands by :mod:`repro.core.parallel`; the pair list is
+    identical either way.
     """
+    if config.workers > 1:
+        from repro.core.parallel import parallel_similarity_join_two
+
+        return parallel_similarity_join_two(left, right, config)
     searcher = SimilaritySearcher(right, config)
     totals = JoinStatistics(total_strings=len(left) + len(right))
     pairs: list[JoinPair] = []
@@ -37,27 +45,8 @@ def similarity_join_two(
         outcome = searcher.search(query)
         for match in outcome.matches:
             pairs.append(JoinPair(left_id, match.string_id, match.probability))
-        _accumulate(totals, outcome.stats)
+        totals.merge(outcome.stats)
     total_timer.stop()
     totals.result_pairs = len(pairs)
     pairs.sort()
     return JoinOutcome(pairs=pairs, stats=totals)
-
-
-def _accumulate(into: JoinStatistics, batch: JoinStatistics) -> None:
-    """Fold one query's counters/timers into the run totals."""
-    into.length_eligible_pairs += batch.length_eligible_pairs
-    into.qgram_survivors += batch.qgram_survivors
-    into.qgram_rejected += batch.qgram_rejected
-    into.frequency_checked += batch.frequency_checked
-    into.frequency_survivors += batch.frequency_survivors
-    into.cdf_checked += batch.cdf_checked
-    into.cdf_accepted += batch.cdf_accepted
-    into.cdf_rejected += batch.cdf_rejected
-    into.cdf_undecided += batch.cdf_undecided
-    into.verifications += batch.verifications
-    into.verification_hits += batch.verification_hits
-    into.false_candidates += batch.false_candidates
-    for stage, watch in batch.timers.items():
-        if stage != "total":
-            into.timer(stage).add(watch.elapsed)

@@ -1,0 +1,306 @@
+"""Length-banded parallel join drivers.
+
+The Pass-Join-style partition scheme makes length bands naturally
+shard-able: a pair ``(R, S)`` can survive the length filter only when
+``||R| - |S|| <= k``, so disjoint contiguous length ranges — each
+extended by a k-wide *halo* of the next-longer strings — can be joined
+independently and their results concatenated. MinJoin exploits the same
+observation to parallelize edit-similarity joins; here it drives a
+``ProcessPoolExecutor`` over pickle-safe band payloads, with each band
+running the ordinary sequential driver of :mod:`repro.core.join` /
+:mod:`repro.core.join_two`.
+
+**Ownership rule** (every pair produced exactly once): a pair belongs to
+the band that owns its *shorter* string, ties broken by the smaller id.
+A band's task set is its owned strings plus the halo — strings whose
+length is in ``(high, high + k]``. Pairs whose shorter string falls in
+the halo are discarded by the band: the next band owns them. Ties in
+length never straddle a band boundary because bands are unions of whole
+length groups.
+
+The merged pair list is *identical* to the serial driver's, including
+reported probabilities: within a band, strings keep their global
+(length, id) visit order, so each pair is refined with the same query /
+candidate orientation — and therefore the same floats — as in the
+serial loop.
+
+The R×S join shards the same way over the indexed (right) collection;
+there each pair has exactly one right string, so band ownership of the
+right string makes pairs unique without a discard step.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.core.config import JoinConfig
+from repro.core.join import similarity_join
+from repro.core.join_two import similarity_join_two
+from repro.core.results import JoinOutcome, JoinPair
+from repro.core.stats import JoinStatistics
+from repro.uncertain.string import UncertainString
+
+#: Below this many strings the banding and process-spawn overhead cannot
+#: pay for itself; the drivers fall back to the serial path. Tests and
+#: callers that want banding regardless pass ``min_parallel=0``.
+MIN_PARALLEL_STRINGS = 64
+
+
+@dataclass(frozen=True)
+class LengthBand:
+    """One shard of a length-banded join.
+
+    ``low``/``high`` delimit the *owned* length range; ``member_ids``
+    holds the ids (ascending) of every string the band's task must see —
+    owned strings plus the k-wide halo ``(high, high + k]``.
+    """
+
+    index: int
+    low: int
+    high: int
+    member_ids: tuple[int, ...]
+
+    def owns_length(self, length: int) -> bool:
+        """Whether a string of ``length`` is owned (not halo) here."""
+        return self.low <= length <= self.high
+
+
+def plan_length_bands(
+    lengths: Sequence[int], workers: int, k: int
+) -> list[LengthBand]:
+    """Partition string lengths into at most ``workers`` contiguous bands.
+
+    Whole length groups are assigned greedily so each band owns roughly
+    ``len(lengths) / workers`` strings (quantile split over the sorted
+    distinct lengths). Because a band is a union of complete length
+    groups, two strings of equal length always share a band — the
+    ownership tie-break by id therefore never crosses a band boundary.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    counts: dict[int, int] = {}
+    for length in lengths:
+        counts[length] = counts.get(length, 0) + 1
+    distinct = sorted(counts)
+    if not distinct:
+        return []
+    total = len(lengths)
+    bounds: list[tuple[int, int]] = []
+    band_low = distinct[0]
+    accumulated = 0
+    for position, length in enumerate(distinct):
+        accumulated += counts[length]
+        if position == len(distinct) - 1:
+            bounds.append((band_low, length))
+            break
+        share = (len(bounds) + 1) * total / workers
+        if accumulated >= share and len(bounds) < workers - 1:
+            bounds.append((band_low, length))
+            band_low = distinct[position + 1]
+    bands = []
+    for index, (low, high) in enumerate(bounds):
+        member_ids = tuple(
+            string_id
+            for string_id, length in enumerate(lengths)
+            if low <= length <= high + k
+        )
+        bands.append(LengthBand(index, low, high, member_ids))
+    return bands
+
+
+# ----------------------------------------------------------------------
+# band tasks (module-level so ProcessPoolExecutor can pickle them)
+# ----------------------------------------------------------------------
+
+
+def _self_join_band(
+    payload: tuple[
+        int, tuple[int, ...], list[UncertainString], int, JoinConfig
+    ],
+) -> tuple[int, list[JoinPair], JoinStatistics]:
+    """Join one band's task set; keep only the pairs the band owns.
+
+    The task strings arrive in ascending original-id order, so local ids
+    preserve the global (length, id) visit order and every kept pair is
+    refined exactly as the serial driver would refine it.
+    """
+    band_index, original_ids, strings, owned_high, config = payload
+    outcome = similarity_join(strings, config)
+    kept: list[JoinPair] = []
+    for pair in outcome.pairs:
+        left_len = len(strings[pair.left_id])
+        right_len = len(strings[pair.right_id])
+        # Owner: shorter string, ties by smaller (local == original) id.
+        owner_length = min(
+            (left_len, pair.left_id), (right_len, pair.right_id)
+        )[0]
+        if owner_length <= owned_high:
+            kept.append(
+                JoinPair(
+                    original_ids[pair.left_id],
+                    original_ids[pair.right_id],
+                    pair.probability,
+                )
+            )
+    return band_index, kept, outcome.stats
+
+
+def _two_join_band(
+    payload: tuple[
+        int,
+        tuple[int, ...],
+        list[UncertainString],
+        tuple[int, ...],
+        list[UncertainString],
+        JoinConfig,
+    ],
+) -> tuple[int, list[JoinPair], JoinStatistics]:
+    """R×S band task: probe the owned right band with eligible left strings."""
+    band_index, left_ids, left_strings, right_ids, right_strings, config = payload
+    outcome = similarity_join_two(left_strings, right_strings, config)
+    pairs = [
+        JoinPair(left_ids[pair.left_id], right_ids[pair.right_id], pair.probability)
+        for pair in outcome.pairs
+    ]
+    return band_index, pairs, outcome.stats
+
+
+def _run_tasks(
+    task: Callable[..., tuple[int, list[JoinPair], JoinStatistics]],
+    payloads: list,
+    workers: int,
+    use_processes: bool,
+) -> list[tuple[int, list[JoinPair], JoinStatistics]]:
+    """Execute band payloads, by process pool or in-process.
+
+    Falls back to the in-process path when the platform refuses to spawn
+    worker processes (sandboxes without fork, broken pools); results are
+    identical either way, only wall clock differs.
+    """
+    if use_processes and len(payloads) > 1:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(payloads))
+            ) as pool:
+                return list(pool.map(task, payloads))
+        except (BrokenProcessPool, OSError, PermissionError):
+            pass
+    return [task(payload) for payload in payloads]
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+
+
+def parallel_similarity_join(
+    collection: Sequence[UncertainString],
+    config: JoinConfig,
+    use_processes: bool = True,
+    min_parallel: int = MIN_PARALLEL_STRINGS,
+) -> JoinOutcome:
+    """Length-banded parallel self-join.
+
+    Shards the collection into ``config.workers`` contiguous length
+    bands plus k-wide halos, joins each band with the serial driver, and
+    deterministically merges pairs and statistics. The pair list —
+    including probabilities — is identical to
+    :func:`repro.core.join.similarity_join` on every input.
+
+    ``use_processes=False`` runs the band tasks in-process (same sharded
+    code path, no pool); inputs smaller than ``min_parallel`` or yielding
+    a single band take the serial driver directly.
+    """
+    serial_config = replace(config, workers=1)
+    if config.workers <= 1 or len(collection) < min_parallel:
+        return similarity_join(collection, serial_config)
+    lengths = [len(string) for string in collection]
+    bands = plan_length_bands(lengths, config.workers, config.k)
+    if len(bands) <= 1:
+        return similarity_join(collection, serial_config)
+
+    stats = JoinStatistics(total_strings=len(collection))
+    total_timer = stats.timer("total").start()
+    payloads = [
+        (
+            band.index,
+            band.member_ids,
+            [collection[string_id] for string_id in band.member_ids],
+            band.high,
+            serial_config,
+        )
+        for band in bands
+    ]
+    results = _run_tasks(_self_join_band, payloads, config.workers, use_processes)
+
+    pairs: list[JoinPair] = []
+    for _, band_pairs, band_stats in sorted(results, key=lambda item: item[0]):
+        pairs.extend(band_pairs)
+        # Aggregate band CPU time under its own stage; wall clock is ours.
+        stats.timer("bands").add(band_stats.seconds("total"))
+        stats.merge(band_stats)
+    pairs.sort()
+    stats.result_pairs = len(pairs)
+    total_timer.stop()
+    return JoinOutcome(pairs=pairs, stats=stats)
+
+
+def parallel_similarity_join_two(
+    left: Sequence[UncertainString],
+    right: Sequence[UncertainString],
+    config: JoinConfig,
+    use_processes: bool = True,
+    min_parallel: int = MIN_PARALLEL_STRINGS,
+) -> JoinOutcome:
+    """Length-banded parallel R×S join.
+
+    The right (indexed) collection is sharded into contiguous length
+    bands; each task indexes one band and probes it with the left
+    strings whose length is within ``k`` of the band's owned range.
+    Every right string lives in exactly one band, so each pair is
+    produced exactly once and the merged, sorted pair list is identical
+    to :func:`repro.core.join_two.similarity_join_two`.
+    """
+    serial_config = replace(config, workers=1)
+    if config.workers <= 1 or len(left) + len(right) < min_parallel or not left:
+        return similarity_join_two(left, right, serial_config)
+    right_lengths = [len(string) for string in right]
+    bands = plan_length_bands(right_lengths, config.workers, 0)
+    if len(bands) <= 1:
+        return similarity_join_two(left, right, serial_config)
+
+    stats = JoinStatistics(total_strings=len(left) + len(right))
+    total_timer = stats.timer("total").start()
+    payloads = []
+    for band in bands:
+        eligible_left = tuple(
+            left_id
+            for left_id, string in enumerate(left)
+            if band.low - config.k <= len(string) <= band.high + config.k
+        )
+        payloads.append(
+            (
+                band.index,
+                eligible_left,
+                [left[left_id] for left_id in eligible_left],
+                band.member_ids,
+                [right[right_id] for right_id in band.member_ids],
+                serial_config,
+            )
+        )
+    results = _run_tasks(_two_join_band, payloads, config.workers, use_processes)
+
+    pairs: list[JoinPair] = []
+    for _, band_pairs, band_stats in sorted(results, key=lambda item: item[0]):
+        pairs.extend(band_pairs)
+        stats.timer("bands").add(band_stats.seconds("total"))
+        stats.merge(band_stats)
+    pairs.sort()
+    stats.result_pairs = len(pairs)
+    total_timer.stop()
+    return JoinOutcome(pairs=pairs, stats=stats)

@@ -20,16 +20,33 @@ from repro.verify.trie_verify import trie_verify, trie_verify_threshold
 
 
 class CandidateRefiner:
-    """Runs the post-q-gram stages of the pipeline for one driver run."""
+    """Runs the post-q-gram stages of the pipeline for one driver run.
 
-    def __init__(self, config: JoinConfig, stats: JoinStatistics) -> None:
+    ``profile_cache`` optionally shares a persistent id → profile mapping
+    across refiner instances (e.g. one per collection held by
+    :class:`repro.core.search.SimilaritySearcher`), so repeated runs
+    against the same indexed strings never rebuild their frequency
+    profiles. Entries under negative pseudo-ids (the ``-1`` used for
+    search queries) always stay refiner-local: the string behind such an
+    id changes from run to run.
+    """
+
+    def __init__(
+        self,
+        config: JoinConfig,
+        stats: JoinStatistics,
+        profile_cache: dict[int, FrequencyProfile] | None = None,
+    ) -> None:
         self.config = config
         self.stats = stats
         self._frequency = (
             FrequencyDistanceFilter(config.k) if config.uses_frequency else None
         )
         self._cdf = CdfBoundFilter(config.k) if config.uses_cdf else None
-        self._profiles: dict[int, FrequencyProfile] = {}
+        self._local_profiles: dict[int, FrequencyProfile] = {}
+        self._shared_profiles = (
+            profile_cache if profile_cache is not None else self._local_profiles
+        )
         self._trie_cache_id: int | None = None
         self._trie_cache: Trie | None = None
 
@@ -39,10 +56,11 @@ class CandidateRefiner:
 
     def profile(self, string_id: int, string: UncertainString) -> FrequencyProfile:
         """Frequency profile of a string, built once (index-resident state)."""
-        prof = self._profiles.get(string_id)
+        cache = self._shared_profiles if string_id >= 0 else self._local_profiles
+        prof = cache.get(string_id)
         if prof is None:
             prof = FrequencyProfile(string)
-            self._profiles[string_id] = prof
+            cache[string_id] = prof
         return prof
 
     def _trie_for(self, string_id: int, string: UncertainString) -> Trie:

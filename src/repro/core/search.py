@@ -15,6 +15,7 @@ from repro.core.config import JoinConfig
 from repro.core.pipeline import CandidateRefiner
 from repro.core.results import SearchMatch, SearchOutcome
 from repro.core.stats import JoinStatistics
+from repro.filters.frequency import FrequencyProfile
 from repro.index.inverted import SegmentInvertedIndex
 from repro.uncertain.string import UncertainString
 
@@ -29,6 +30,11 @@ class SimilaritySearcher:
         self.config = config
         self._by_length: dict[int, list[int]] = {}
         self._index: SegmentInvertedIndex | None = None
+        # Frequency profiles of *collection* strings persist across
+        # queries (index-resident state, like the segment index); each
+        # query's own profile lives under the -1 pseudo-id in the
+        # per-search refiner and is rebuilt per call.
+        self._profile_cache: dict[int, FrequencyProfile] = {}
         order = sorted(
             range(len(self.collection)), key=lambda i: (len(self.collection[i]), i)
         )
@@ -50,7 +56,7 @@ class SimilaritySearcher:
         """All collection strings similar to ``query`` under (k, τ)."""
         config = self.config
         stats = JoinStatistics(total_strings=len(self.collection))
-        refiner = CandidateRefiner(config, stats)
+        refiner = CandidateRefiner(config, stats, profile_cache=self._profile_cache)
         total = stats.timer("total").start()
         if self._index is not None:
             with stats.timer("qgram"):
@@ -66,7 +72,7 @@ class SimilaritySearcher:
                 if abs(length - len(query)) <= config.k
                 for string_id in ids
             ]
-            stats.qgram_survivors += len(candidates)
+            stats.length_survivors += len(candidates)
         matches: list[SearchMatch] = []
         query_key = -1  # pseudo-id for the query's cached trie/profile
         for string_id in sorted(candidates):

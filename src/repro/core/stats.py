@@ -23,9 +23,14 @@ class JoinStatistics:
     #: not observable, so it counts length-eligible pairs when available.
     length_eligible_pairs: int = 0
     #: candidates produced by the q-gram stage (survivors of Lemma 5 +
-    #: Theorem 2), or the length-eligible pairs when q-gram is disabled.
+    #: Theorem 2). Stays 0 when q-gram filtering is disabled.
     qgram_survivors: int = 0
     qgram_rejected: int = 0
+    #: candidates produced by the plain length filter when no q-gram
+    #: index is in play — kept distinct from :attr:`qgram_survivors` so
+    #: ``summary()`` never credits the q-gram stage with length-filter
+    #: output.
+    length_survivors: int = 0
     frequency_checked: int = 0
     frequency_survivors: int = 0
     cdf_checked: int = 0
@@ -69,11 +74,55 @@ class JoinStatistics:
     def total_seconds(self) -> float:
         return self.seconds("total")
 
+    #: counter fields folded by :meth:`merge`. ``total_strings`` and
+    #: ``result_pairs`` are deliberately absent: what they mean for a
+    #: merged run (shared strings? deduplicated pairs?) is the caller's
+    #: call, so the caller sets them.
+    MERGE_COUNTERS = (
+        "length_eligible_pairs",
+        "qgram_survivors",
+        "qgram_rejected",
+        "length_survivors",
+        "frequency_checked",
+        "frequency_survivors",
+        "cdf_checked",
+        "cdf_accepted",
+        "cdf_rejected",
+        "cdf_undecided",
+        "verifications",
+        "verification_hits",
+        "false_candidates",
+    )
+
+    def merge(self, other: "JoinStatistics", include_total: bool = False) -> None:
+        """Fold another run's counters and timers into this one.
+
+        Per-stage counters are summed and per-stage stopwatches folded
+        with :meth:`Stopwatch.add`. The ``total`` stopwatch is skipped
+        unless ``include_total`` — a driver merging concurrent shards
+        measures its own wall clock, and summing the shards' totals
+        would double-count overlapping intervals. ``total_strings`` and
+        ``result_pairs`` are never merged; the caller sets them.
+        """
+        for name in self.MERGE_COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for stage, watch in other.timers.items():
+            if stage == "total" and not include_total:
+                continue
+            self.timer(stage).add(watch.elapsed)
+
     def summary(self) -> str:
         """A compact human-readable report."""
         lines = [
             f"strings:              {self.total_strings}",
             f"length-eligible:      {self.length_eligible_pairs}",
+        ]
+        if self.length_survivors:
+            lines.append(
+                f"length survivors:     {self.length_survivors} "
+                f"(no q-gram index)"
+            )
+        lines += [
             f"qgram survivors:      {self.qgram_survivors} "
             f"(rejected {self.qgram_rejected})",
             f"frequency survivors:  {self.frequency_survivors} "

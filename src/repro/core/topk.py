@@ -91,6 +91,7 @@ def top_k_join(
                 if abs(length - len(current)) <= k
                 for other in ranks
             ]
+            stats.length_survivors += len(candidates)
         for other_rank in sorted(candidates):
             other_id = rank_to_id[other_rank]
             other = collection[other_id]

@@ -12,6 +12,8 @@ tested. For production verification use :mod:`repro.verify`.
 
 from __future__ import annotations
 
+import math
+
 from repro.distance.edit import edit_distance_banded
 from repro.uncertain.string import UncertainString
 from repro.uncertain.worlds import enumerate_worlds
@@ -43,9 +45,12 @@ def edit_similarity_probability(
             f"refusing to enumerate {len(left_worlds) * len(right_worlds)} world "
             f"pairs (limit {pair_limit})"
         )
-    total = 0.0
-    for left_text, left_prob in left_worlds:
-        for right_text, right_prob in right_worlds:
-            if edit_distance_banded(left_text, right_text, k) <= k:
-                total += left_prob * right_prob
-    return total
+    # math.fsum keeps the accumulation exact: naive += can drift by an
+    # ulp per term, enough to flip a > tau decision on knife-edge pairs.
+    terms = [
+        left_prob * right_prob
+        for left_text, left_prob in left_worlds
+        for right_text, right_prob in right_worlds
+        if edit_distance_banded(left_text, right_text, k) <= k
+    ]
+    return math.fsum(terms)

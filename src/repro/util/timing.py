@@ -10,24 +10,41 @@ class Stopwatch:
 
     Used by :class:`repro.core.stats.JoinStatistics` to report per-filter
     timings the way the paper's Figures 2–9 do.
+
+    Start/stop pairs may nest (e.g. two ``with stats.timer("x")`` blocks
+    for the same stage, one inside the other): a depth counter tracks the
+    nesting and only the outermost ``stop()`` accrues the interval, so
+    the outer block's tail is never lost and no time is double-counted.
     """
 
     def __init__(self) -> None:
         self._elapsed = 0.0
         self._started_at: float | None = None
+        self._depth = 0
 
     def start(self) -> "Stopwatch":
-        """Begin (or resume) timing; returns self so it can be chained."""
+        """Begin (or re-enter) timing; returns self so it can be chained."""
+        self._depth += 1
         if self._started_at is None:
             self._started_at = time.perf_counter()
         return self
 
     def stop(self) -> float:
-        """Stop timing and return the total elapsed seconds so far."""
-        if self._started_at is not None:
+        """Leave one nesting level; the outermost stop accrues the time.
+
+        Returns the total elapsed seconds accumulated so far.
+        """
+        if self._depth > 0:
+            self._depth -= 1
+        if self._depth == 0 and self._started_at is not None:
             self._elapsed += time.perf_counter() - self._started_at
             self._started_at = None
         return self._elapsed
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 when the stopwatch is not running)."""
+        return self._depth
 
     def add(self, seconds: float) -> None:
         """Fold externally measured time into this stopwatch's total."""

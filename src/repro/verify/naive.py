@@ -8,9 +8,19 @@ independent oracle in tests.
 
 from __future__ import annotations
 
+import math
+
 from repro.distance.edit import edit_distance_banded
 from repro.uncertain.string import UncertainString
 from repro.uncertain.worlds import enumerate_worlds
+
+#: Slack on the "total world mass = 1.0" assumption used by early
+#: rejection. The floats of a world distribution sum to 1.0 only up to
+#: ~n_worlds ulps of drift (n is bounded by the 2M pair-enumeration
+#: guard, so drift < 1e-9). Early rejection keeps this margin of
+#: remaining mass in hand; pairs within it of ``tau`` simply fall
+#: through to the exact fsum decision at the end of the enumeration.
+WORLD_MASS_SLACK = 1e-9
 
 
 def naive_verify(
@@ -25,12 +35,15 @@ def naive_verify(
         return 0.0
     left_worlds = list(enumerate_worlds(left, limit=None))
     right_worlds = list(enumerate_worlds(right, limit=None))
-    total = 0.0
-    for left_text, left_prob in left_worlds:
-        for right_text, right_prob in right_worlds:
-            if edit_distance_banded(left_text, right_text, k) <= k:
-                total += left_prob * right_prob
-    return total
+    # math.fsum keeps the accumulation exact; a running += can drift by
+    # an ulp per term, which flips > tau decisions on knife-edge pairs.
+    terms = [
+        left_prob * right_prob
+        for left_text, left_prob in left_worlds
+        for right_text, right_prob in right_worlds
+        if edit_distance_banded(left_text, right_text, k) <= k
+    ]
+    return math.fsum(terms)
 
 
 def naive_verify_threshold(
@@ -46,17 +59,30 @@ def naive_verify_threshold(
         return False
     left_worlds = list(enumerate_worlds(left, limit=None))
     right_worlds = list(enumerate_worlds(right, limit=None))
-    total = 0.0
-    missed = 0.0
+    # Running sums steer the cheap early-exit checks; every *decision* is
+    # confirmed with math.fsum over the collected terms so accumulated
+    # rounding error can never flip the answer. An early accept is sound
+    # because partial sums of non-negative hit terms under-approximate
+    # the full sum; an early reject is sound because the unseen mass is
+    # at most ``1 + WORLD_MASS_SLACK - covered``.
+    hit_terms: list[float] = []
+    covered_terms: list[float] = []
+    running_hit = 0.0
+    running_covered = 0.0
     for left_text, left_prob in left_worlds:
         for right_text, right_prob in right_worlds:
             joint = left_prob * right_prob
+            covered_terms.append(joint)
+            running_covered += joint
             if edit_distance_banded(left_text, right_text, k) <= k:
-                total += joint
-                if total > tau:
+                hit_terms.append(joint)
+                running_hit += joint
+                if running_hit > tau and math.fsum(hit_terms) > tau:
                     return True
             else:
-                missed += joint
-                if 1.0 - missed <= tau:
-                    return False
-    return total > tau
+                remaining = 1.0 + WORLD_MASS_SLACK - running_covered
+                if running_hit + remaining <= tau:
+                    remaining = 1.0 + WORLD_MASS_SLACK - math.fsum(covered_terms)
+                    if math.fsum(hit_terms) + remaining <= tau:
+                        return False
+    return math.fsum(hit_terms) > tau

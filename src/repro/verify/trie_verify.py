@@ -17,6 +17,7 @@ the verification step.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.uncertain.string import UncertainString
@@ -25,6 +26,7 @@ from repro.verify.active import (
     advance_active_nodes,
     initial_active_nodes,
 )
+from repro.verify.naive import WORLD_MASS_SLACK
 from repro.verify.trie import Trie, build_trie
 
 
@@ -88,10 +90,18 @@ def _traverse(
     leaf_depth = trie.length
     target_depth = len(right)
 
-    total = 0.0
-    # `missed` tracks S-world mass already proven dissimilar; early reject
-    # fires when even all remaining mass cannot lift `total` above tau.
-    missed = 0.0
+    # Terms are collected and combined with math.fsum so accumulated
+    # rounding error can never flip a > tau decision on knife-edge pairs;
+    # the running sums only steer the cheap early-exit checks, and every
+    # decision is confirmed against the exact fsum. An early accept is
+    # sound because partial sums of non-negative hit terms
+    # under-approximate the full sum; an early reject is sound because
+    # S-world mass not yet resolved (visited as a leaf or pruned) is at
+    # most ``1 + WORLD_MASS_SLACK - covered``.
+    hit_terms: list[float] = []
+    covered_terms: list[float] = []
+    running_hit = 0.0
+    running_covered = 0.0
 
     root_active = initial_active_nodes(trie.root, k)
     # Iterative DFS: (depth, prefix probability, active set).
@@ -100,12 +110,14 @@ def _traverse(
         depth, prob, active = stack.pop()
         if depth == target_depth:
             stats.leaf_instances += 1
-            mass = sum(
+            mass = math.fsum(
                 node.prob for node, dist in active.items()
                 if node.depth == leaf_depth and dist <= k
             )
-            total += prob * mass
-            missed += prob * (1.0 - mass)
+            hit_terms.append(prob * mass)
+            running_hit += prob * mass
+            covered_terms.append(prob)
+            running_covered += prob
         else:
             stats.expanded_prefixes += 1
             for char, char_prob in right[depth].items():
@@ -114,12 +126,17 @@ def _traverse(
                     stack.append((depth + 1, prob * char_prob, child_active))
                 else:
                     stats.pruned_prefixes += 1
-                    missed += prob * char_prob
+                    covered_terms.append(prob * char_prob)
+                    running_covered += prob * char_prob
         if tau is not None:
-            if total > tau:
+            if running_hit > tau and math.fsum(hit_terms) > tau:
                 stats.early_stop = True
-                return total, True
-            if 1.0 - missed <= tau:
-                stats.early_stop = True
-                return total, False
+                return math.fsum(hit_terms), True
+            remaining = 1.0 + WORLD_MASS_SLACK - running_covered
+            if running_hit + remaining <= tau:
+                remaining = 1.0 + WORLD_MASS_SLACK - math.fsum(covered_terms)
+                if math.fsum(hit_terms) + remaining <= tau:
+                    stats.early_stop = True
+                    return math.fsum(hit_terms), False
+    total = math.fsum(hit_terms)
     return total, total > (tau if tau is not None else -1.0)

@@ -62,3 +62,81 @@ class TestExactProbability:
         a = parse_uncertain("{(A,0.5),(C,0.5)}" * 3)
         with pytest.raises(ValueError, match="refusing"):
             edit_similarity_probability(a, a, 1, pair_limit=10)
+
+
+class TestKnifeEdgeAccumulation:
+    """Regression: fsum accumulation on pairs whose probability is tau ± 1 ulp.
+
+    The pair below is engineered so that a naive ``+=`` accumulation of
+    the matching world masses lands exactly on ``tau = 0.55`` (deciding
+    dissimilar under the strict ``> tau`` rule) while the correctly
+    rounded sum — ``math.fsum`` — is one ulp above ``tau`` (similar).
+    Every exact verifier and both threshold verifiers must agree on the
+    fsum answer.
+    """
+
+    TAU = 0.55
+
+    @staticmethod
+    def _knife_edge_pair():
+        from repro.uncertain.position import UncertainPosition
+
+        # Position B nominally holds ten 0.1-probability alternatives;
+        # construction normalizes by their float sum 0.9999999999999999,
+        # nudging each stored probability one ulp above 0.1. Summing ten
+        # of them left-to-right rounds back down to exactly 1.0, while
+        # fsum yields 1.0000000000000002 — position C's exact 0.5/0.5
+        # split scales that 2-ulp gap into a 1-ulp gap around 0.55.
+        c = UncertainPosition({"u": 0.5, "v": 0.5})
+        b = UncertainPosition({ch: 0.1 for ch in "abcdefghij"})
+        left = UncertainString.from_mixed(["x", c, b, "y"])
+        right = UncertainString.from_text("xuay")
+        return left, right
+
+    def test_pair_sits_one_ulp_above_tau(self):
+        import math
+
+        left, right = self._knife_edge_pair()
+        exact = edit_similarity_probability(left, right, 1)
+        naive_accumulation = 0.0
+        for _, _, p in sorted(
+            (x, y, p)
+            for x, y, p in enumerate_joint_worlds(left, right)
+            if edit_distance(x, y) <= 1
+        ):
+            naive_accumulation += p
+        # The construction invariant: += lands on tau, fsum one ulp above.
+        assert naive_accumulation == self.TAU
+        assert exact == self.TAU + math.ulp(self.TAU)
+
+    def test_exact_verifiers_agree_above_tau(self):
+        from repro.verify.naive import naive_verify
+        from repro.verify.trie_verify import trie_verify
+
+        left, right = self._knife_edge_pair()
+        exact = edit_similarity_probability(left, right, 1)
+        assert exact > self.TAU
+        assert naive_verify(left, right, 1) == exact
+        assert trie_verify(left, right, 1) == exact
+        assert trie_verify(right, left, 1) == exact
+
+    def test_threshold_verifiers_decide_similar(self):
+        from repro.verify.naive import naive_verify_threshold
+        from repro.verify.trie_verify import trie_verify_threshold
+
+        left, right = self._knife_edge_pair()
+        assert naive_verify_threshold(left, right, 1, self.TAU)
+        assert trie_verify_threshold(left, right, 1, self.TAU)
+        assert trie_verify_threshold(right, left, 1, self.TAU)
+
+    def test_probability_exactly_tau_is_rejected(self):
+        """The strict > tau rule: a pair AT tau must not be reported."""
+        from repro.verify.naive import naive_verify_threshold
+        from repro.verify.trie_verify import trie_verify_threshold
+
+        left, right = self._knife_edge_pair()
+        exact = edit_similarity_probability(left, right, 1)
+        # tau == the pair's exact probability: strictly-greater fails.
+        assert not naive_verify_threshold(left, right, 1, exact)
+        assert not trie_verify_threshold(left, right, 1, exact)
+        assert not trie_verify_threshold(right, left, 1, exact)

@@ -61,3 +61,70 @@ class TestSearcherReuse:
         searcher = SimilaritySearcher([], JoinConfig(k=1, tau=0.1))
         outcome = searcher.search(UncertainString.from_text("AC"))
         assert outcome.matches == []
+
+
+class TestProfileCacheReuse:
+    """Regression: collection profiles must be built once, not per query."""
+
+    @staticmethod
+    def _counting_profile(monkeypatch):
+        import repro.core.pipeline as pipeline
+        from repro.filters.frequency import FrequencyProfile
+
+        built = []
+        real = FrequencyProfile
+
+        def counting(string):
+            built.append(string)
+            return real(string)
+
+        monkeypatch.setattr(pipeline, "FrequencyProfile", counting)
+        return built
+
+    def test_collection_profiles_built_at_most_once(self, monkeypatch):
+        rng = random.Random(21)
+        collection = random_collection(rng, 12, length_range=(4, 6))
+        # FCT: every length-eligible string hits the frequency filter.
+        config = JoinConfig.for_algorithm("FCT", k=2, tau=0.05, q=2)
+        searcher = SimilaritySearcher(collection, config)
+        built = self._counting_profile(monkeypatch)
+        queries = [random_uncertain(rng, 5) for _ in range(3)]
+        for query in queries:
+            for _ in range(3):  # each query repeated
+                searcher.search(query)
+        by_string = {}
+        for string in built:
+            if string in collection:
+                by_string[id(string)] = by_string.get(id(string), 0) + 1
+        assert by_string, "expected collection profiles to be built"
+        assert all(count == 1 for count in by_string.values()), (
+            "a collection string's profile was rebuilt across searches"
+        )
+
+    def test_query_profile_is_not_leaked_across_queries(self, monkeypatch):
+        """The -1 pseudo-id must be rebuilt per search call."""
+        rng = random.Random(22)
+        collection = random_collection(rng, 8, length_range=(5, 5))
+        config = JoinConfig.for_algorithm("FCT", k=1, tau=0.05, q=2)
+        searcher = SimilaritySearcher(collection, config)
+        built = self._counting_profile(monkeypatch)
+        queries = [random_uncertain(rng, 5) for _ in range(4)]
+        for query in queries:
+            searcher.search(query)
+        query_builds = [s for s in built if s not in collection]
+        # one profile per distinct query, none reused from a stale -1 slot
+        assert len(query_builds) == len(queries)
+        assert [id(s) for s in query_builds] == [id(q) for q in queries]
+
+    def test_results_unchanged_by_caching(self):
+        rng = random.Random(23)
+        collection = random_collection(rng, 10, length_range=(4, 6))
+        config = JoinConfig.for_algorithm("FCT", k=1, tau=0.1, q=2)
+        searcher = SimilaritySearcher(collection, config)
+        for _ in range(3):
+            query = random_uncertain(rng, 5)
+            expected = {
+                i for i, _ in brute_force_search(collection, query, 1, 0.1)
+            }
+            assert searcher.search(query).ids() == expected
+            assert searcher.search(query).ids() == expected

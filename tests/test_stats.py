@@ -48,3 +48,83 @@ class TestQGramOutcome:
             alphas=(0.3, 0.3, 0.3), matched_segments=3, required=2, upper=0.05
         )
         assert "Theorem 2" in bounded.decision(0.1).reason
+
+
+class TestMerge:
+    def test_counters_summed_and_timers_folded(self):
+        a = JoinStatistics(total_strings=5, result_pairs=1)
+        a.qgram_survivors = 3
+        a.verifications = 2
+        a.timer("qgram").add(1.0)
+        a.timer("total").add(9.0)
+        b = JoinStatistics(total_strings=7, result_pairs=4)
+        b.qgram_survivors = 4
+        b.verifications = 1
+        b.length_survivors = 6
+        b.timer("qgram").add(0.5)
+        b.timer("verification").add(2.0)
+        b.timer("total").add(3.0)
+        a.merge(b)
+        assert a.qgram_survivors == 7
+        assert a.verifications == 3
+        assert a.length_survivors == 6
+        assert a.seconds("qgram") == pytest.approx(1.5)
+        assert a.seconds("verification") == pytest.approx(2.0)
+        # wall clock is the merging driver's own measurement
+        assert a.seconds("total") == pytest.approx(9.0)
+        # total_strings / result_pairs are the caller's responsibility
+        assert a.total_strings == 5
+        assert a.result_pairs == 1
+
+    def test_include_total_folds_the_total_stopwatch(self):
+        a = JoinStatistics()
+        a.timer("total").add(1.0)
+        b = JoinStatistics()
+        b.timer("total").add(2.0)
+        a.merge(b, include_total=True)
+        assert a.seconds("total") == pytest.approx(3.0)
+
+    def test_merge_covers_every_declared_counter(self):
+        a = JoinStatistics()
+        b = JoinStatistics()
+        for name in JoinStatistics.MERGE_COUNTERS:
+            setattr(b, name, 2)
+        a.merge(b)
+        for name in JoinStatistics.MERGE_COUNTERS:
+            assert getattr(a, name) == 2, name
+
+
+class TestNoQGramSummary:
+    """Regression: length-filter output must not masquerade as q-gram."""
+
+    def _join_stats(self, algorithm):
+        import random
+
+        from repro.core.config import JoinConfig
+        from repro.core.join import similarity_join
+        from tests.helpers import random_collection
+
+        rng = random.Random(11)
+        collection = random_collection(rng, 10, length_range=(4, 6))
+        config = JoinConfig.for_algorithm(algorithm, k=1, tau=0.1, q=2)
+        return similarity_join(collection, config).stats
+
+    def test_qgram_disabled_uses_length_counter(self):
+        stats = self._join_stats("FCT")
+        assert stats.qgram_survivors == 0
+        assert stats.qgram_rejected == 0
+        assert stats.length_survivors > 0
+        # with k=1 over a dense length range the filter passes everything
+        assert stats.length_survivors == stats.length_eligible_pairs
+
+    def test_summary_labels_length_filter_line(self):
+        stats = self._join_stats("FCT")
+        text = stats.summary()
+        assert "length survivors" in text
+        assert "no q-gram index" in text
+        assert "qgram survivors:      0 (rejected 0)" in text
+
+    def test_qgram_enabled_does_not_touch_length_counter(self):
+        stats = self._join_stats("QFCT")
+        assert stats.length_survivors == 0
+        assert "length survivors" not in stats.summary()

@@ -53,11 +53,41 @@ class TestStopwatch:
         assert watch.elapsed > 0
         watch.stop()
 
-    def test_start_while_running_is_noop(self):
-        watch = Stopwatch().start()
-        watch.start()
-        watch.stop()
-        assert watch.elapsed >= 0
+    def test_nested_start_stop_accrues_only_on_outermost_stop(self):
+        watch = Stopwatch()
+        watch.start()  # depth 1
+        time.sleep(0.005)
+        watch.start()  # depth 2 (re-entrant)
+        time.sleep(0.005)
+        watch.stop()  # inner stop: must NOT freeze the clock
+        assert watch.depth == 1
+        time.sleep(0.005)  # the outer interval's tail
+        total = watch.stop()
+        assert watch.depth == 0
+        # All three sleeps happened inside one outer interval: the tail
+        # after the inner stop must be included (the pre-fix stopwatch
+        # dropped it because the inner stop() halted the clock).
+        assert total >= 0.014
+
+    def test_nested_context_managers_keep_outer_tail(self):
+        watch = Stopwatch()
+        with watch:
+            with watch:
+                time.sleep(0.002)
+            time.sleep(0.005)
+        assert watch.elapsed >= 0.006
+        # and no double counting: a single wall-clock pass of ~7ms cannot
+        # have recorded the inner interval twice.
+        assert watch.elapsed < 0.1
+
+    def test_nested_does_not_double_count(self):
+        watch = Stopwatch()
+        start = time.perf_counter()
+        with watch:
+            with watch:
+                time.sleep(0.01)
+        wall = time.perf_counter() - start
+        assert watch.elapsed <= wall + 1e-6
 
     def test_add(self):
         watch = Stopwatch()
