@@ -1,0 +1,74 @@
+"""One tiny join per driver — a CI smoke check, not a benchmark.
+
+Runs each of the public drivers (batch self-join, parallel banded join,
+R-S join, search, incremental, top-N, streaming iterator) on a small
+synthetic collection and cross-checks the obvious agreements. Exits
+non-zero on any mismatch. Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_drivers.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.config import JoinConfig
+from repro.core.engine import iter_join_pairs
+from repro.core.incremental import IncrementalJoiner
+from repro.core.join import similarity_join
+from repro.core.join_two import similarity_join_two
+from repro.core.parallel import parallel_similarity_join
+from repro.core.search import SimilaritySearcher
+from repro.core.topk import top_k_join
+from repro.datasets.presets import dblp_like_collection
+
+
+def check(label: str, condition: bool) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  {label:<44s} {status}")
+    if not condition:
+        sys.exit(1)
+
+
+def main() -> int:
+    collection = dblp_like_collection(40, theta=0.2, gamma=4, rng=7)
+    config = JoinConfig(k=2, tau=0.1, q=3, report_probabilities=True)
+    print(f"smoke: {len(collection)} strings, k={config.k}, tau={config.tau}")
+
+    started = time.perf_counter()
+    batch = similarity_join(collection, config)
+    check(f"join: {len(batch.pairs)} pairs", len(batch.pairs) > 0)
+
+    banded = parallel_similarity_join(
+        collection, config, use_processes=False, min_parallel=0
+    )
+    check("parallel join == serial join", banded.pairs == batch.pairs)
+
+    streamed = sorted(iter_join_pairs(collection, config))
+    check("streamed join == batch join", streamed == batch.pairs)
+
+    half = len(collection) // 2
+    two = similarity_join_two(collection[:half], collection[half:], config)
+    check(f"join_two: {len(two.pairs)} pairs", two.stats.verifications >= 0)
+
+    searcher = SimilaritySearcher(collection, config)
+    hits = searcher.search(collection[0]).matches
+    check(f"search: {len(hits)} matches (self hit)",
+          any(m.string_id == 0 for m in hits))
+
+    joiner = IncrementalJoiner(config)
+    incremental = sorted(joiner.extend(collection))
+    check("incremental == batch join", incremental == batch.pairs)
+
+    top = top_k_join(collection, k=config.k, count=5, q=config.q)
+    best_batch = max(p.probability for p in batch.pairs)
+    check("topk head == best batch probability",
+          len(top.pairs) == 5 and top.pairs[0].probability == best_batch)
+
+    print(f"all drivers ok in {time.perf_counter() - started:.2f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

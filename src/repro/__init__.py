@@ -27,12 +27,15 @@ from repro.core import (
     ALGORITHMS,
     IncrementalJoiner,
     JoinConfig,
+    JoinEngine,
     JoinOutcome,
     JoinPair,
     JoinStatistics,
     SearchMatch,
     SearchOutcome,
     SimilaritySearcher,
+    iter_join_pairs,
+    iter_matches,
     parallel_similarity_join,
     parallel_similarity_join_two,
     similarity_join,
@@ -64,6 +67,9 @@ __all__ = [
     "IncrementalJoiner",
     "top_k_join",
     "JoinConfig",
+    "JoinEngine",
+    "iter_join_pairs",
+    "iter_matches",
     "JoinOutcome",
     "JoinPair",
     "JoinStatistics",

@@ -5,16 +5,21 @@ Four subcommands covering the end-to-end workflow on collection files
 
 * ``repro-join gen`` — generate a synthetic dataset (dblp-like or
   protein-like, Section 7 parameters).
-* ``repro-join join`` — self-join a collection under (k, tau)-matching.
+* ``repro-join join`` — self-join a collection under (k, tau)-matching
+  (``--stream`` prints pairs as the engine discovers them).
 * ``repro-join search`` — search a collection for strings similar to a
   query.
+* ``repro-join topk`` — the N most probably similar pairs (adaptive
+  threshold; no tau needed).
 * ``repro-join verify`` — exact ``Pr(ed <= k)`` for two strings.
 
 Examples::
 
     repro-join gen --kind dblp --count 500 --theta 0.2 -o names.txt
     repro-join join names.txt -k 2 --tau 0.1 --stats
+    repro-join join names.txt -k 2 --tau 0.1 --stream
     repro-join search names.txt "jon{(a,0.7),(o,0.3)}than smith" -k 2 --tau 0.1
+    repro-join topk names.txt -k 2 --count 10
     repro-join verify "banana" "ban{(a,0.7),(e,0.3)}na" -k 1
 """
 
@@ -22,11 +27,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.core.config import ALGORITHMS, JoinConfig
+from repro.core.engine import iter_join_pairs
 from repro.core.join import similarity_join
 from repro.core.search import similarity_search
+from repro.core.stats import JoinStatistics
+from repro.core.topk import top_k_join
 from repro.datasets.loader import load_collection, save_collection
 from repro.datasets.presets import dblp_like_collection, protein_like_collection
 from repro.uncertain.parser import parse_uncertain
@@ -87,14 +96,45 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_pair(pair) -> None:
+    if pair.probability is not None:
+        print(f"{pair.left_id}\t{pair.right_id}\t{pair.probability:.6f}")
+    else:
+        print(f"{pair.left_id}\t{pair.right_id}")
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     collection = load_collection(args.collection)
-    outcome = similarity_join(collection, _config(args))
+    config = _config(args)
+    if args.stream:
+        # Pairs appear as the engine discovers them (discovery order,
+        # not sorted) — flushed line by line for downstream consumers.
+        config = replace(config, workers=1)
+        stats = JoinStatistics(total_strings=len(collection))
+        for pair in iter_join_pairs(collection, config, stats=stats):
+            _print_pair(pair)
+            sys.stdout.flush()
+        if args.stats:
+            print(stats.summary(), file=sys.stderr)
+        return 0
+    outcome = similarity_join(collection, config)
     for pair in outcome.pairs:
-        if pair.probability is not None:
-            print(f"{pair.left_id}\t{pair.right_id}\t{pair.probability:.6f}")
-        else:
-            print(f"{pair.left_id}\t{pair.right_id}")
+        _print_pair(pair)
+    if args.stats:
+        print(outcome.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    collection = load_collection(args.collection)
+    config = JoinConfig.for_algorithm(
+        args.algorithm, k=args.k, tau=0.0, q=args.q
+    )
+    outcome = top_k_join(
+        collection, k=args.k, count=args.count, q=args.q, config=config
+    )
+    for pair in outcome.pairs:
+        _print_pair(pair)
     if args.stats:
         print(outcome.stats.summary(), file=sys.stderr)
     return 0
@@ -141,7 +181,33 @@ def build_parser() -> argparse.ArgumentParser:
     join = commands.add_parser("join", help="self-join a collection file")
     join.add_argument("collection", help="collection file (one string per line)")
     _add_join_options(join)
+    join.add_argument(
+        "--stream",
+        action="store_true",
+        help="print pairs as they are discovered (discovery order, "
+        "serial engine; ignores --workers)",
+    )
     join.set_defaults(func=_cmd_join)
+
+    topk = commands.add_parser(
+        "topk", help="the N most probably similar pairs (adaptive threshold)"
+    )
+    topk.add_argument("collection")
+    topk.add_argument("-k", type=int, required=True, help="edit-distance threshold")
+    topk.add_argument(
+        "--count", type=int, required=True, help="number of pairs to report"
+    )
+    topk.add_argument("-q", type=int, default=3, help="segment length (default 3)")
+    topk.add_argument(
+        "--algorithm",
+        default="QFCT",
+        choices=sorted(ALGORITHMS),
+        help="filter stack variant (default QFCT)",
+    )
+    topk.add_argument(
+        "--stats", action="store_true", help="print pipeline statistics"
+    )
+    topk.set_defaults(func=_cmd_topk)
 
     search = commands.add_parser("search", help="search a collection file")
     search.add_argument("collection")

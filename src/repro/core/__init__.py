@@ -3,12 +3,26 @@
 :func:`similarity_join` answers the paper's problem statement: given a
 collection of uncertain strings and thresholds ``(k, tau)``, report all
 pairs with ``Pr(ed(R, S) <= k) > tau``. Algorithm variants (QFCT, QCT,
-QFT, FCT — Section 7) are selected through :class:`JoinConfig`.
+QFT, FCT — Section 7) are selected through :class:`JoinConfig`. All
+drivers are thin adapters over the streaming :class:`JoinEngine`;
+:func:`iter_join_pairs` / :func:`iter_matches` expose its generator API
+directly.
 """
 
 from repro.core.config import ALGORITHMS, JoinConfig
 from repro.core.results import JoinOutcome, JoinPair, SearchMatch, SearchOutcome
 from repro.core.stats import JoinStatistics
+from repro.core.engine import (
+    CandidateSource,
+    JoinEngine,
+    LengthBandSource,
+    SegmentIndexSource,
+    iter_join_pairs,
+    iter_matches,
+)
+# TauProvider is re-exported for typing driver extensions; it stays out
+# of __all__ (a bare Callable alias carries no docstring).
+from repro.core.pipeline import StageChain, TauProvider as TauProvider
 from repro.core.incremental import IncrementalJoiner
 from repro.core.join import similarity_join
 from repro.core.join_two import similarity_join_two
@@ -26,12 +40,19 @@ __all__ = [
     "JoinConfig",
     "JoinOutcome",
     "JoinPair",
+    "JoinEngine",
+    "CandidateSource",
+    "SegmentIndexSource",
+    "LengthBandSource",
+    "StageChain",
     "LengthBand",
     "SearchMatch",
     "SearchOutcome",
     "JoinStatistics",
     "similarity_join",
     "similarity_join_two",
+    "iter_join_pairs",
+    "iter_matches",
     "parallel_similarity_join",
     "parallel_similarity_join_two",
     "plan_length_bands",

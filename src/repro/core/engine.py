@@ -1,0 +1,327 @@
+"""The streaming join engine every driver routes through.
+
+The paper's pipeline (length filter → q-gram segment index → frequency
+distance → CDF bounds → trie/DP verification) is *one* algorithm; this
+module owns it once. :class:`JoinEngine` combines
+
+* a :class:`CandidateSource` — candidate generation among previously
+  added strings, with the rank ↔ id mapping and visited-length
+  bookkeeping the drivers used to re-derive. Two implementations:
+  :class:`SegmentIndexSource` (the Section 4 inverted segment index)
+  and :class:`LengthBandSource` (the plain length filter, for variants
+  without q-gram filtering);
+* the data-driven :class:`~repro.core.pipeline.StageChain`
+  (frequency → CDF → verify), with τ supplied per candidate by a
+  :data:`~repro.core.pipeline.TauProvider`;
+* per-stage counters/timers recorded through the stage-name-keyed
+  registry of :class:`~repro.core.stats.JoinStatistics` — identically
+  for every driver.
+
+The API is generator-based: :meth:`JoinEngine.join` /
+:meth:`JoinEngine.matches` yield results *as they are discovered*, so
+batch drivers collect them, the incremental joiner stays resumable, and
+early-terminating consumers (top-N, serving) stop pulling whenever they
+have enough.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.core.config import JoinConfig
+from repro.core.pipeline import StageChain, TauProvider
+from repro.core.results import JoinPair, SearchMatch
+from repro.core.stats import JoinStatistics
+from repro.filters.frequency import FrequencyProfile
+from repro.index.inverted import SegmentInvertedIndex
+from repro.uncertain.string import UncertainString
+
+#: One generated candidate: ``(string id, Theorem 2 upper bound)``;
+#: the bound is ``None`` when the source cannot compute one.
+SourceCandidate = tuple[int, "float | None"]
+
+
+@runtime_checkable
+class CandidateSource(Protocol):
+    """Candidate generation among previously added strings.
+
+    A source owns the visit bookkeeping the drivers used to duplicate:
+    the internal rank (insertion order) ↔ caller id mapping, and the
+    per-length population counts behind the ``length``/``qgram`` stage
+    counters. ``probe`` must count identically in every driver:
+    ``length.eligible`` for the length-filter universe, plus either
+    ``qgram.survivors``/``qgram.rejected`` (index sources) or
+    ``length.survivors`` (plain length filter).
+    """
+
+    def add(
+        self, string_id: int, string: UncertainString, stats: JoinStatistics
+    ) -> None:
+        """Register ``string`` so later probes can return it."""
+        ...
+
+    def probe(
+        self, query: UncertainString, tau: float, stats: JoinStatistics
+    ) -> list[SourceCandidate]:
+        """Candidates among added strings, ascending by insertion rank."""
+        ...
+
+    def __len__(self) -> int: ...
+
+
+class SegmentIndexSource:
+    """Candidate generation through the Section 4 inverted segment index.
+
+    Strings are indexed under their insertion rank (ranks ascend by
+    construction, which keeps posting lists sorted); probes prune with
+    Lemma 5 + Theorem 2 and report the surviving candidates' Theorem 2
+    upper bounds for the chain to reuse.
+    """
+
+    def __init__(self, config: JoinConfig) -> None:
+        self._k = config.k
+        self._index = SegmentInvertedIndex(
+            k=config.k,
+            q=config.q,
+            selection=config.selection,
+            group_mode=config.group_mode,
+            bound_mode=config.bound_mode,
+        )
+        self._rank_to_id: list[int] = []
+        self._count_by_length: dict[int, int] = {}
+
+    @property
+    def index(self) -> SegmentInvertedIndex:
+        """The wrapped index (size reporting, persistence)."""
+        return self._index
+
+    def __len__(self) -> int:
+        return len(self._rank_to_id)
+
+    def add(
+        self, string_id: int, string: UncertainString, stats: JoinStatistics
+    ) -> None:
+        rank = len(self._rank_to_id)
+        with stats.timer("index"):
+            self._index.add(rank, string)
+        self._rank_to_id.append(string_id)
+        length = len(string)
+        self._count_by_length[length] = self._count_by_length.get(length, 0) + 1
+
+    def probe(
+        self, query: UncertainString, tau: float, stats: JoinStatistics
+    ) -> list[SourceCandidate]:
+        length = len(query)
+        eligible = sum(
+            count
+            for other_length, count in self._count_by_length.items()
+            if abs(other_length - length) <= self._k
+        )
+        stats.record("length", "eligible", eligible)
+        with stats.timer("qgram"):
+            ranked = self._index.probe(query, tau)
+        stats.record("qgram", "survivors", len(ranked))
+        stats.record("qgram", "rejected", eligible - len(ranked))
+        return [(self._rank_to_id[rank], upper) for rank, upper in ranked]
+
+
+class LengthBandSource:
+    """Plain length-filter candidate generation (no q-gram index).
+
+    Serves the paper variants without **Q**: every added string within
+    edit-threshold length distance of the query is a candidate, with no
+    upper bound attached.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        self._k = k
+        self._rank_to_id: list[int] = []
+        self._ranks_by_length: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._rank_to_id)
+
+    def add(
+        self, string_id: int, string: UncertainString, stats: JoinStatistics
+    ) -> None:
+        rank = len(self._rank_to_id)
+        self._rank_to_id.append(string_id)
+        self._ranks_by_length.setdefault(len(string), []).append(rank)
+
+    def probe(
+        self, query: UncertainString, tau: float, stats: JoinStatistics
+    ) -> list[SourceCandidate]:
+        length = len(query)
+        ranks: list[int] = []
+        for other_length, members in self._ranks_by_length.items():
+            if abs(other_length - length) <= self._k:
+                ranks.extend(members)
+        ranks.sort()
+        # Everything length-eligible survives: eligible == survivors here.
+        stats.record("length", "eligible", len(ranks))
+        stats.record("length", "survivors", len(ranks))
+        return [(self._rank_to_id[rank], None) for rank in ranks]
+
+
+def make_source(config: JoinConfig) -> CandidateSource:
+    """The candidate source ``config``'s filter stack calls for."""
+    if config.uses_qgram:
+        return SegmentIndexSource(config)
+    return LengthBandSource(config.k)
+
+
+class JoinEngine:
+    """One streaming (k, τ)-matching engine: source + stage chain + stats.
+
+    Drivers differ only in how they feed and consume it: the batch
+    self-join collects :meth:`join`; the searcher adds its collection
+    once and calls :meth:`matches` per query; the incremental joiner
+    interleaves :meth:`probe` and :meth:`add`; the top-N join passes an
+    adaptive ``tau`` provider and keeps the N best yields.
+
+    Parameters
+    ----------
+    config:
+        Pipeline knobs. The engine itself is serial — parallel drivers
+        shard the input and run one engine per band.
+    stats:
+        Statistics sink; a fresh one is created when omitted. Reassign
+        :attr:`stats` to redirect subsequent recording (the searcher
+        does this per query).
+    tau:
+        Per-candidate threshold provider; defaults to the constant
+        ``config.tau``.
+    force_exact:
+        Always verify to the exact probability (see
+        :class:`~repro.core.pipeline.StageChain`).
+    profile_cache:
+        Shared id → frequency-profile cache, for engines that outlive
+        one run over the same indexed strings.
+    """
+
+    def __init__(
+        self,
+        config: JoinConfig,
+        stats: JoinStatistics | None = None,
+        tau: TauProvider | None = None,
+        force_exact: bool = False,
+        profile_cache: dict[int, FrequencyProfile] | None = None,
+    ) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else JoinStatistics()
+        self.tau: TauProvider = tau if tau is not None else (lambda: config.tau)
+        self.source = make_source(config)
+        self.chain = StageChain(
+            config, force_exact=force_exact, profile_cache=profile_cache
+        )
+        self._strings: dict[int, UncertainString] = {}
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def string(self, string_id: int) -> UncertainString:
+        """A previously added string."""
+        return self._strings[string_id]
+
+    def add(self, string_id: int, string: UncertainString) -> None:
+        """Register ``string`` under ``string_id`` (ids must be unique;
+        internal ranks follow insertion order)."""
+        self.source.add(string_id, string, self.stats)
+        self._strings[string_id] = string
+
+    def probe(
+        self, query_id: int, query: UncertainString
+    ) -> Iterator[tuple[int, bool, "float | None"]]:
+        """Refine ``query`` against every added candidate, lazily.
+
+        Yields ``(candidate_id, similar, probability)`` per candidate in
+        insertion-rank order. The τ provider is re-read for each
+        candidate, so consumers may tighten the threshold between pulls
+        (the adaptive top-N loop does). Negative ``query_id``s mark
+        transient queries: their frequency profiles stay probe-local.
+        """
+        context = self.chain.context(query_id, query)
+        for candidate_id, upper in self.source.probe(
+            query, self.tau(), self.stats
+        ):
+            similar, probability = self.chain.refine(
+                context,
+                candidate_id,
+                self._strings[candidate_id],
+                self.tau,
+                self.stats,
+                upper,
+            )
+            yield candidate_id, similar, probability
+
+    def matches(
+        self, query: UncertainString, query_id: int = -1
+    ) -> Iterator[SearchMatch]:
+        """Stream the added strings similar to ``query`` under (k, τ)."""
+        for candidate_id, similar, probability in self.probe(query_id, query):
+            if similar:
+                yield SearchMatch(candidate_id, probability)
+
+    def join(self, collection: Sequence[UncertainString]) -> Iterator[JoinPair]:
+        """Stream the self-join of ``collection`` pair by pair.
+
+        Visits strings in ascending (length, id) order — each string is
+        probed against the already-added prefix, then added, so no pair
+        is enumerated twice. Pairs are yielded as discovered (grouped by
+        their later-visited string), not globally sorted.
+        """
+        order = sorted(
+            range(len(collection)), key=lambda i: (len(collection[i]), i)
+        )
+        for string_id in order:
+            current = collection[string_id]
+            for other_id, similar, probability in self.probe(string_id, current):
+                if similar:
+                    left, right = (
+                        (other_id, string_id)
+                        if other_id < string_id
+                        else (string_id, other_id)
+                    )
+                    yield JoinPair(left, right, probability)
+            self.add(string_id, current)
+
+
+def iter_join_pairs(
+    collection: Sequence[UncertainString],
+    config: JoinConfig,
+    stats: JoinStatistics | None = None,
+) -> Iterator[JoinPair]:
+    """Stream a self-join's result pairs as they are discovered.
+
+    The streaming form of :func:`repro.core.join.similarity_join`: same
+    pairs and probabilities, yielded incrementally in discovery order
+    instead of returned sorted. Serial only — set ``config.workers`` to
+    1 (the batch driver handles banded parallelism).
+    """
+    if config.workers != 1:
+        raise ValueError(
+            "iter_join_pairs streams the serial visit loop; "
+            f"config.workers must be 1, got {config.workers}"
+        )
+    engine = JoinEngine(config, stats=stats)
+    return engine.join(collection)
+
+
+def iter_matches(
+    collection: Sequence[UncertainString],
+    query: UncertainString,
+    config: JoinConfig,
+    stats: JoinStatistics | None = None,
+) -> Iterator[SearchMatch]:
+    """Stream one-shot search hits (index built at call time).
+
+    For repeated queries over one collection, build a
+    :class:`~repro.core.search.SimilaritySearcher` instead.
+    """
+    engine = JoinEngine(config, stats=stats)
+    order = sorted(range(len(collection)), key=lambda i: (len(collection[i]), i))
+    for string_id in order:
+        engine.add(string_id, collection[string_id])
+    return engine.matches(query)

@@ -1,20 +1,21 @@
 """Incremental (streaming) similarity join.
 
-The paper's driver is inherently incremental: a string is matched against
-the already-indexed prefix of the collection, then indexed itself.
-:class:`IncrementalJoiner` exposes exactly that loop as an online API —
-feed strings one at a time, get back the similar pairs each new string
-forms with everything seen so far. Useful for ingest pipelines where
-duplicates should be flagged at insert time.
+The engine is inherently incremental: a string is matched against the
+already-indexed prefix, then indexed itself. :class:`IncrementalJoiner`
+keeps one resumable :class:`~repro.core.engine.JoinEngine` alive and
+exposes exactly that loop as an online API — feed strings one at a
+time, get back the similar pairs each new string forms with everything
+seen so far. Useful for ingest pipelines where duplicates should be
+flagged at insert time.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 from repro.core.config import JoinConfig
-from repro.core.pipeline import CandidateRefiner
+from repro.core.engine import JoinEngine
 from repro.core.results import JoinPair
-from repro.core.stats import JoinStatistics
-from repro.index.inverted import SegmentInvertedIndex
 from repro.uncertain.string import UncertainString
 
 
@@ -23,28 +24,21 @@ class IncrementalJoiner:
 
     Unlike the batch driver (which sorts by length to bound index probes
     to shorter strings), an online joiner must accept arbitrary arrival
-    order, so the index is probed in both length directions. Results are
-    identical to running :func:`repro.core.join.similarity_join` on the
-    final collection — a property the tests pin down.
+    order, so candidates are probed in both length directions. Results
+    are identical to running :func:`repro.core.join.similarity_join` on
+    the final collection — a property the tests pin down.
     """
 
     def __init__(self, config: JoinConfig) -> None:
         self.config = config
-        self.stats = JoinStatistics()
-        self._refiner = CandidateRefiner(config, self.stats)
+        self._engine = JoinEngine(config)
+        self.stats = self._engine.stats
         self._strings: list[UncertainString] = []
-        self._by_length: dict[int, list[int]] = {}
-        self._index = (
-            SegmentInvertedIndex(
-                k=config.k,
-                q=config.q,
-                selection=config.selection,
-                group_mode=config.group_mode,
-                bound_mode=config.bound_mode,
-            )
-            if config.uses_qgram
-            else None
-        )
+
+    @property
+    def engine(self) -> JoinEngine:
+        """The underlying resumable engine."""
+        return self._engine
 
     def __len__(self) -> int:
         return len(self._strings)
@@ -60,42 +54,28 @@ class IncrementalJoiner:
         The returned pairs carry ``right_id == the new string's id``
         (ids are assigned in arrival order).
         """
-        config = self.config
         string_id = len(self._strings)
-
-        if self._index is not None:
-            with self.stats.timer("qgram"):
-                candidates = [c.string_id for c in self._index.query(string, config.tau)]
-            self.stats.qgram_survivors += len(candidates)
-        else:
-            candidates = [
-                other
-                for length, ids in self._by_length.items()
-                if abs(length - len(string)) <= config.k
-                for other in ids
-            ]
-            self.stats.length_survivors += len(candidates)
-
-        pairs: list[JoinPair] = []
-        for other_id in sorted(candidates):
-            similar, probability = self._refiner.refine(
-                string_id, string, other_id, self._strings[other_id]
+        pairs = [
+            JoinPair(other_id, string_id, probability)
+            for other_id, similar, probability in self._engine.probe(
+                string_id, string
             )
-            if similar:
-                pairs.append(JoinPair(other_id, string_id, probability))
-
-        if self._index is not None:
-            with self.stats.timer("index"):
-                self._index.add(string_id, string)
+            if similar
+        ]
+        self._engine.add(string_id, string)
         self._strings.append(string)
-        self._by_length.setdefault(len(string), []).append(string_id)
         self.stats.total_strings = len(self._strings)
         self.stats.result_pairs += len(pairs)
         return sorted(pairs)
 
-    def extend(self, strings) -> list[JoinPair]:
+    def extend(self, strings: Iterable[UncertainString]) -> list[JoinPair]:
         """Add many strings; return all new pairs in order."""
         pairs: list[JoinPair] = []
         for string in strings:
             pairs.extend(self.add(string))
         return pairs
+
+    def stream(self, strings: Iterable[UncertainString]) -> Iterator[JoinPair]:
+        """Add many strings, yielding each new pair as it is found."""
+        for string in strings:
+            yield from self.add(string)

@@ -1,12 +1,9 @@
 """The self-join driver (Section 4).
 
-Strings are visited in ascending length order (ties by id). For the
-current string ``R`` the driver finds all similar strings *among already
-visited strings only* — via the inverted segment index when q-gram
-filtering is enabled, else via the plain length filter — refines the
-candidates through the configured filter stack, verifies survivors, and
-only then inserts ``R``'s segments into the index. No pair is enumerated
-twice.
+A thin adapter over :class:`repro.core.engine.JoinEngine`: the engine
+owns visit order (ascending length, ties by id), candidate generation
+against already-visited strings, refinement, and statistics; this module
+only collects the streamed pairs, sorts them, and wraps the outcome.
 """
 
 from __future__ import annotations
@@ -14,10 +11,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.config import JoinConfig
-from repro.core.pipeline import CandidateRefiner
+from repro.core.engine import JoinEngine
 from repro.core.results import JoinOutcome, JoinPair
 from repro.core.stats import JoinStatistics
-from repro.index.inverted import SegmentInvertedIndex
 from repro.uncertain.string import UncertainString
 
 
@@ -28,7 +24,8 @@ def similarity_join(
 
     Returns a :class:`JoinOutcome` whose pairs are keyed by positions in
     ``collection`` (``left_id < right_id``) and whose stats carry the
-    per-stage counters/timers the benchmarks report.
+    per-stage counters/timers the benchmarks report. For pair-by-pair
+    consumption use :func:`repro.core.engine.iter_join_pairs`.
 
     With ``config.workers > 1`` the work is delegated to the
     length-banded parallel driver (:mod:`repro.core.parallel`), which
@@ -39,69 +36,10 @@ def similarity_join(
 
         return parallel_similarity_join(collection, config)
     stats = JoinStatistics(total_strings=len(collection))
-    refiner = CandidateRefiner(config, stats)
-    index = (
-        SegmentInvertedIndex(
-            k=config.k,
-            q=config.q,
-            selection=config.selection,
-            group_mode=config.group_mode,
-            bound_mode=config.bound_mode,
-        )
-        if config.uses_qgram
-        else None
-    )
-    # Visit order: ascending length, ties by id. Ranks (positions in this
-    # order) are the ids used inside the index so insertions stay sorted.
-    order = sorted(range(len(collection)), key=lambda i: (len(collection[i]), i))
-    rank_to_id = {rank: string_id for rank, string_id in enumerate(order)}
-    visited_by_length: dict[int, list[int]] = {}
-    visited_lengths_count: dict[int, int] = {}
-
+    engine = JoinEngine(config, stats=stats)
     pairs: list[JoinPair] = []
-    total_timer = stats.timer("total").start()
-    for rank, string_id in enumerate(order):
-        current = collection[string_id]
-        length = len(current)
-
-        eligible = sum(
-            count
-            for other_length, count in visited_lengths_count.items()
-            if abs(other_length - length) <= config.k
-        )
-        stats.length_eligible_pairs += eligible
-
-        if index is not None:
-            with stats.timer("qgram"):
-                candidates = [
-                    (candidate.string_id, candidate.upper)
-                    for candidate in index.query(current, config.tau)
-                ]
-            stats.qgram_survivors += len(candidates)
-            stats.qgram_rejected += eligible - len(candidates)
-        else:
-            candidates = []
-            for other_length, ranks in visited_by_length.items():
-                if abs(other_length - length) <= config.k:
-                    candidates.extend((other, None) for other in ranks)
-            stats.length_survivors += len(candidates)
-
-        for other_rank, _upper in sorted(candidates):
-            other_id = rank_to_id[other_rank]
-            other = collection[other_id]
-            similar, probability = refiner.refine(
-                string_id, current, other_id, other
-            )
-            if similar:
-                left, right = sorted((string_id, other_id))
-                pairs.append(JoinPair(left, right, probability))
-
-        if index is not None:
-            with stats.timer("index"):
-                index.add(rank, current)
-        visited_by_length.setdefault(length, []).append(rank)
-        visited_lengths_count[length] = visited_lengths_count.get(length, 0) + 1
-    total_timer.stop()
+    with stats.timer("total"):
+        pairs.extend(engine.join(collection))
     stats.result_pairs = len(pairs)
     pairs.sort()
     return JoinOutcome(pairs=pairs, stats=stats)

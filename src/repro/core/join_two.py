@@ -3,9 +3,10 @@
 The paper focuses on the self-join "without loss of generality"
 (Section 1); this module supplies the general form: all pairs
 ``(R in left, S in right)`` with ``Pr(ed(R, S) <= k) > tau``. The right
-collection is indexed once; each left string probes it exactly like a
-search query, so the machinery and guarantees are identical to the
-self-join's.
+collection is indexed once in a :class:`~repro.core.search.SimilaritySearcher`
+(one persistent :class:`~repro.core.engine.JoinEngine`); each left
+string probes it exactly like a search query, so the machinery and
+guarantees are identical to the self-join's.
 """
 
 from __future__ import annotations
@@ -40,13 +41,12 @@ def similarity_join_two(
     searcher = SimilaritySearcher(right, config)
     totals = JoinStatistics(total_strings=len(left) + len(right))
     pairs: list[JoinPair] = []
-    total_timer = totals.timer("total").start()
-    for left_id, query in enumerate(left):
-        outcome = searcher.search(query)
-        for match in outcome.matches:
-            pairs.append(JoinPair(left_id, match.string_id, match.probability))
-        totals.merge(outcome.stats)
-    total_timer.stop()
+    with totals.timer("total"):
+        for left_id, query in enumerate(left):
+            for match in searcher.iter_matches(query, stats=totals):
+                pairs.append(
+                    JoinPair(left_id, match.string_id, match.probability)
+                )
     totals.result_pairs = len(pairs)
     pairs.sort()
     return JoinOutcome(pairs=pairs, stats=totals)

@@ -1,16 +1,24 @@
-"""Per-candidate refinement shared by join and search drivers.
+"""Data-driven candidate refinement: the engine's stage chain.
 
-A candidate pair that emerged from the q-gram stage (or from the plain
-length filter) flows through: frequency-distance filtering (Section 5) →
-CDF bounds (Section 6.1) → exact verification (Section 6.2 / 7.7). The
-refiner owns the filter instances, applies them in the configured order,
-and records counts/timings into :class:`JoinStatistics`.
+A candidate pair that emerged from a candidate source (the q-gram
+segment index or the plain length filter) flows through
+frequency-distance filtering (Section 5) → CDF bounds (Section 6.1) →
+exact verification (Section 6.2 / 7.7). The chain is built from
+:class:`~repro.core.config.JoinConfig`: each filtering stage is a
+:class:`~repro.filters.base.PipelineStage` counted and timed under its
+own name, and the probability threshold τ is supplied *per candidate*
+by a :data:`TauProvider` callable — a constant for the fixed-threshold
+drivers, the adaptive N-th-best bound for the top-N join — so every
+consumer runs the exact same stages.
 """
 
 from __future__ import annotations
 
-from repro.core.config import JoinConfig
+from typing import Callable
+
+from repro.core.config import JoinConfig, VerificationName
 from repro.core.stats import JoinStatistics
+from repro.filters.base import FilterDecision, PipelineStage
 from repro.filters.cdf import CdfBoundFilter
 from repro.filters.frequency import FrequencyDistanceFilter, FrequencyProfile
 from repro.uncertain.string import UncertainString
@@ -18,145 +26,241 @@ from repro.verify.naive import naive_verify, naive_verify_threshold
 from repro.verify.trie import Trie, build_trie
 from repro.verify.trie_verify import trie_verify, trie_verify_threshold
 
+#: Supplies the τ in force for the next candidate. Fixed-threshold
+#: drivers pass ``lambda: config.tau``; the top-N join passes its
+#: monotonically rising N-th-best probability.
+TauProvider = Callable[[], float]
 
-class CandidateRefiner:
-    """Runs the post-q-gram stages of the pipeline for one driver run.
 
-    ``profile_cache`` optionally shares a persistent id → profile mapping
-    across refiner instances (e.g. one per collection held by
-    :class:`repro.core.search.SimilaritySearcher`), so repeated runs
-    against the same indexed strings never rebuild their frequency
-    profiles. Entries under negative pseudo-ids (the ``-1`` used for
-    search queries) always stay refiner-local: the string behind such an
-    id changes from run to run.
+class QueryContext:
+    """Per-query state threaded through the chain.
+
+    Holds the query string R, its lazily built trie (``T_R`` is built at
+    most once and reused for all candidate pairs ``(R, *)`` — the
+    paper's amortization), and the frequency profiles of negative
+    pseudo-ids (search queries), which must die with the query instead
+    of polluting a shared cache.
+    """
+
+    __slots__ = ("query_id", "query", "local_profiles", "_trie")
+
+    def __init__(self, query_id: int, query: UncertainString) -> None:
+        self.query_id = query_id
+        self.query = query
+        self.local_profiles: dict[int, FrequencyProfile] = {}
+        self._trie: Trie | None = None
+
+    def trie(self) -> Trie:
+        """The query's verification trie, built on first use."""
+        if self._trie is None:
+            self._trie = build_trie(self.query)
+        return self._trie
+
+
+class ProfileStore:
+    """id → frequency profile cache (index-resident state).
+
+    Profiles of non-negative ids persist for the store's lifetime and
+    may be shared across runs (e.g. one store per
+    :class:`~repro.core.search.SimilaritySearcher` collection); negative
+    pseudo-ids resolve through the query context so a query's profile is
+    rebuilt per run.
+    """
+
+    def __init__(self, shared: dict[int, FrequencyProfile] | None = None) -> None:
+        self._shared: dict[int, FrequencyProfile] = (
+            shared if shared is not None else {}
+        )
+
+    def get(
+        self, context: QueryContext, string_id: int, string: UncertainString
+    ) -> FrequencyProfile:
+        cache = self._shared if string_id >= 0 else context.local_profiles
+        profile = cache.get(string_id)
+        if profile is None:
+            # Module-global lookup (not the imported binding captured in a
+            # closure) so tests can monkeypatch ``pipeline.FrequencyProfile``.
+            profile = FrequencyProfile(string)
+            cache[string_id] = profile
+        return profile
+
+
+class FrequencyStage:
+    """Lemma 6 + Theorem 3 frequency-distance bounds (name ``frequency``)."""
+
+    name = "frequency"
+
+    def __init__(self, k: int, profiles: ProfileStore) -> None:
+        self._filter = FrequencyDistanceFilter(k)
+        self._profiles = profiles
+
+    def apply(
+        self,
+        context: QueryContext,
+        candidate_id: int,
+        candidate: UncertainString,
+        tau: float,
+    ) -> FilterDecision:
+        return self._filter.decide(
+            self._profiles.get(context, context.query_id, context.query),
+            self._profiles.get(context, candidate_id, candidate),
+            tau,
+        )
+
+
+class CdfStage:
+    """Theorem 4 per-cell CDF bounds (name ``cdf``)."""
+
+    name = "cdf"
+
+    def __init__(self, k: int) -> None:
+        self._filter = CdfBoundFilter(k)
+
+    def apply(
+        self,
+        context: QueryContext,
+        candidate_id: int,
+        candidate: UncertainString,
+        tau: float,
+    ) -> FilterDecision:
+        return self._filter.decide(context.query, candidate, tau)
+
+
+class VerifyStage:
+    """Exact verification: trie DP (Section 6.2) or naive per-world
+    enumeration (the Section 7.7 baseline). Always the chain's last
+    stage (name ``verification``)."""
+
+    name = "verification"
+
+    def __init__(
+        self,
+        k: int,
+        verification: VerificationName,
+        want_exact: bool,
+    ) -> None:
+        self._k = k
+        self._verification = verification
+        self._want_exact = want_exact
+
+    def verify(
+        self, context: QueryContext, candidate: UncertainString, tau: float
+    ) -> tuple[bool, float | None]:
+        """``(similar, probability)``; probability is ``None`` when the
+        τ decision was reached by early termination."""
+        if self._verification == "trie":
+            if self._want_exact:
+                probability = trie_verify(
+                    context.query, candidate, self._k, left_trie=context.trie()
+                )
+                return probability > tau, probability
+            similar = trie_verify_threshold(
+                context.query, candidate, self._k, tau, left_trie=context.trie()
+            )
+            return similar, None
+        if self._want_exact:
+            probability = naive_verify(context.query, candidate, self._k)
+            return probability > tau, probability
+        return naive_verify_threshold(context.query, candidate, self._k, tau), None
+
+
+def build_filter_stages(
+    config: JoinConfig, profiles: ProfileStore
+) -> tuple[PipelineStage, ...]:
+    """The post-candidate-generation filter stages ``config`` asks for,
+    in the paper's fixed cheap-to-expensive order."""
+    stages: list[PipelineStage] = []
+    if config.uses_frequency:
+        stages.append(FrequencyStage(config.k, profiles))
+    if config.uses_cdf:
+        stages.append(CdfStage(config.k))
+    return tuple(stages)
+
+
+class StageChain:
+    """Runs the refinement stages for one engine.
+
+    Parameters
+    ----------
+    config:
+        Supplies the stage list, ``k``, the verifier, and the
+        probability-reporting mode.
+    force_exact:
+        Always compute exact probabilities and never let a CDF accept
+        skip verification, regardless of ``config.report_probabilities``
+        — the top-N join needs exact values to rank by.
+    profile_cache:
+        Optional shared id → profile mapping (see :class:`ProfileStore`).
     """
 
     def __init__(
         self,
         config: JoinConfig,
-        stats: JoinStatistics,
+        force_exact: bool = False,
         profile_cache: dict[int, FrequencyProfile] | None = None,
     ) -> None:
         self.config = config
-        self.stats = stats
-        self._frequency = (
-            FrequencyDistanceFilter(config.k) if config.uses_frequency else None
+        self.profiles = ProfileStore(profile_cache)
+        self.stages = build_filter_stages(config, self.profiles)
+        self._want_probability = force_exact or config.report_probabilities
+        self._verify = VerifyStage(
+            config.k,
+            config.verification,
+            want_exact=self._want_probability or not config.early_stop_verification,
         )
-        self._cdf = CdfBoundFilter(config.k) if config.uses_cdf else None
-        self._local_profiles: dict[int, FrequencyProfile] = {}
-        self._shared_profiles = (
-            profile_cache if profile_cache is not None else self._local_profiles
-        )
-        self._trie_cache_id: int | None = None
-        self._trie_cache: Trie | None = None
 
-    # ------------------------------------------------------------------
-    # cached per-string preprocessing
-    # ------------------------------------------------------------------
-
-    def profile(self, string_id: int, string: UncertainString) -> FrequencyProfile:
-        """Frequency profile of a string, built once (index-resident state)."""
-        cache = self._shared_profiles if string_id >= 0 else self._local_profiles
-        prof = cache.get(string_id)
-        if prof is None:
-            prof = FrequencyProfile(string)
-            cache[string_id] = prof
-        return prof
-
-    def _trie_for(self, string_id: int, string: UncertainString) -> Trie:
-        """Trie of the current query string, rebuilt only when it changes.
-
-        Matches the paper's amortization: ``T_R`` is built once and reused
-        for all candidate pairs ``(R, *)``.
-        """
-        if self._trie_cache_id != string_id or self._trie_cache is None:
-            self._trie_cache = build_trie(string)
-            self._trie_cache_id = string_id
-        return self._trie_cache
-
-    # ------------------------------------------------------------------
-    # the pipeline
-    # ------------------------------------------------------------------
+    def context(self, query_id: int, query: UncertainString) -> QueryContext:
+        """Fresh per-query state for ``query`` (build one per probe)."""
+        return QueryContext(query_id, query)
 
     def refine(
         self,
-        left_id: int,
-        left: UncertainString,
-        right_id: int,
-        right: UncertainString,
+        context: QueryContext,
+        candidate_id: int,
+        candidate: UncertainString,
+        tau: TauProvider,
+        stats: JoinStatistics,
+        upper: float | None = None,
     ) -> tuple[bool, float | None]:
-        """Frequency → CDF → verification for one candidate pair.
+        """Filter stages → verification for one candidate pair.
 
-        ``left`` is the current query string R (its trie is cached);
-        ``right`` is the earlier-visited candidate S. Returns
-        ``(is_result, probability)``.
+        ``upper`` is the candidate source's Theorem 2 upper bound on
+        ``Pr(ed <= k)`` when it computed one. Returns
+        ``(is_result, probability)``; the probability is ``None`` unless
+        verification computed the exact value for a reported pair.
         """
-        config = self.config
-        stats = self.stats
-        if self._frequency is not None:
-            stats.frequency_checked += 1
-            with stats.timer("frequency"):
-                decision = self._frequency.decide(
-                    self.profile(left_id, left),
-                    self.profile(right_id, right),
-                    config.tau,
-                )
+        threshold = tau()
+        if upper is not None and upper <= threshold:
+            # Re-check the probe-time bound against the *current* τ: a
+            # no-op for fixed-τ runs (the index already pruned on it),
+            # real pruning when τ has risen since the probe (top-N).
+            stats.record("bound", "rejected")
+            return False, None
+        accepted = False
+        for stage in self.stages:
+            stats.record(stage.name, "checked")
+            with stats.timer(stage.name):
+                decision = stage.apply(context, candidate_id, candidate, threshold)
             if decision.rejected:
-                return False, None
-            stats.frequency_survivors += 1
-
-        accepted_by_cdf = False
-        if self._cdf is not None:
-            stats.cdf_checked += 1
-            with stats.timer("cdf"):
-                decision = self._cdf.decide(left, right, config.tau)
-            if decision.rejected:
-                stats.cdf_rejected += 1
+                stats.record(stage.name, "rejected")
                 return False, None
             if decision.accepted:
-                stats.cdf_accepted += 1
-                accepted_by_cdf = True
-            else:
-                stats.cdf_undecided += 1
-
-        if accepted_by_cdf and not config.report_probabilities:
+                # Only the CDF lower bound can prove similarity; later
+                # (more expensive) filter stages would be wasted work.
+                stats.record(stage.name, "accepted")
+                accepted = True
+                break
+            stats.record(stage.name, "undecided")
+        if accepted and not self._want_probability:
             return True, None
-        return self._verify(left_id, left, right, accepted_by_cdf)
-
-    def _verify(
-        self,
-        left_id: int,
-        left: UncertainString,
-        right: UncertainString,
-        accepted_by_cdf: bool,
-    ) -> tuple[bool, float | None]:
-        config = self.config
-        stats = self.stats
-        stats.verifications += 1
-        want_exact = config.report_probabilities or not config.early_stop_verification
-        with stats.timer("verification"):
-            if config.verification == "trie":
-                trie = self._trie_for(left_id, left)
-                if want_exact:
-                    probability = trie_verify(left, right, config.k, left_trie=trie)
-                    similar = probability > config.tau
-                else:
-                    similar = trie_verify_threshold(
-                        left, right, config.k, config.tau, left_trie=trie
-                    )
-                    probability = None
-            else:
-                if want_exact:
-                    probability = naive_verify(left, right, config.k)
-                    similar = probability > config.tau
-                else:
-                    similar = naive_verify_threshold(left, right, config.k, config.tau)
-                    probability = None
-        # When the CDF lower bound accepted the pair, verification ran only
-        # to produce the exact probability; the two can disagree only on
-        # floating-point knife edges, and the exact verifier wins.
+        stats.record("verification", "checked")
+        with stats.timer(self._verify.name):
+            similar, probability = self._verify.verify(context, candidate, threshold)
+        # When the CDF lower bound accepted the pair, verification ran
+        # only to produce the exact probability; the two can disagree
+        # only on floating-point knife edges, and the exact verifier wins.
         if similar:
-            stats.verification_hits += 1
+            stats.record("verification", "hits")
         else:
-            stats.false_candidates += 1
+            stats.record("verification", "false")
         return similar, probability if similar else None

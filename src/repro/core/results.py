@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.core.stats import JoinStatistics
 
@@ -40,7 +41,7 @@ class JoinOutcome:
     def __len__(self) -> int:
         return len(self.pairs)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[JoinPair]:
         return iter(self.pairs)
 
 
@@ -65,5 +66,5 @@ class SearchOutcome:
     def __len__(self) -> int:
         return len(self.matches)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SearchMatch]:
         return iter(self.matches)

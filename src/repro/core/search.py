@@ -3,21 +3,25 @@
 The paper's machinery answers search queries too (its indexes were
 originally built for them): all strings ``S`` in the collection with
 ``Pr(ed(Q, S) <= k) > tau`` for an uncertain (or deterministic) query
-``Q``. :class:`SimilaritySearcher` builds the index once and serves many
-queries.
+``Q``. :class:`SimilaritySearcher` holds one persistent
+:class:`~repro.core.engine.JoinEngine` — collection indexed once,
+frequency profiles cached across queries — and serves many queries.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.config import JoinConfig
-from repro.core.pipeline import CandidateRefiner
+from repro.core.engine import JoinEngine
 from repro.core.results import SearchMatch, SearchOutcome
 from repro.core.stats import JoinStatistics
 from repro.filters.frequency import FrequencyProfile
-from repro.index.inverted import SegmentInvertedIndex
 from repro.uncertain.string import UncertainString
+
+#: Pseudo-id for query strings: negative, so the engine keeps their
+#: cached trie/profile local to one probe instead of index-resident.
+QUERY_ID = -1
 
 
 class SimilaritySearcher:
@@ -28,60 +32,43 @@ class SimilaritySearcher:
     ) -> None:
         self.collection = list(collection)
         self.config = config
-        self._by_length: dict[int, list[int]] = {}
-        self._index: SegmentInvertedIndex | None = None
-        # Frequency profiles of *collection* strings persist across
-        # queries (index-resident state, like the segment index); each
-        # query's own profile lives under the -1 pseudo-id in the
-        # per-search refiner and is rebuilt per call.
+        # Collection profiles persist across queries (index-resident
+        # state, like the segment index); each query's own profile lives
+        # under the negative pseudo-id in per-probe state.
         self._profile_cache: dict[int, FrequencyProfile] = {}
+        self._engine = JoinEngine(config, profile_cache=self._profile_cache)
         order = sorted(
             range(len(self.collection)), key=lambda i: (len(self.collection[i]), i)
         )
-        self._rank_to_id = {rank: string_id for rank, string_id in enumerate(order)}
-        if config.uses_qgram:
-            self._index = SegmentInvertedIndex(
-                k=config.k,
-                q=config.q,
-                selection=config.selection,
-                group_mode=config.group_mode,
-                bound_mode=config.bound_mode,
-            )
-            for rank, string_id in enumerate(order):
-                self._index.add(rank, self.collection[string_id])
-        for string_id, string in enumerate(self.collection):
-            self._by_length.setdefault(len(string), []).append(string_id)
+        for string_id in order:
+            self._engine.add(string_id, self.collection[string_id])
+
+    @property
+    def engine(self) -> JoinEngine:
+        """The underlying engine (candidate source, stage chain)."""
+        return self._engine
+
+    def iter_matches(
+        self, query: UncertainString, stats: JoinStatistics | None = None
+    ) -> Iterator[SearchMatch]:
+        """Stream matches for ``query`` as they are discovered.
+
+        ``stats``, when given, receives this probe's counters/timers;
+        otherwise recording goes to a throwaway sink.
+        """
+        self._engine.stats = (
+            stats
+            if stats is not None
+            else JoinStatistics(total_strings=len(self.collection))
+        )
+        return self._engine.matches(query, QUERY_ID)
 
     def search(self, query: UncertainString) -> SearchOutcome:
         """All collection strings similar to ``query`` under (k, τ)."""
-        config = self.config
         stats = JoinStatistics(total_strings=len(self.collection))
-        refiner = CandidateRefiner(config, stats, profile_cache=self._profile_cache)
-        total = stats.timer("total").start()
-        if self._index is not None:
-            with stats.timer("qgram"):
-                candidates = [
-                    self._rank_to_id[candidate.string_id]
-                    for candidate in self._index.query(query, config.tau)
-                ]
-            stats.qgram_survivors += len(candidates)
-        else:
-            candidates = [
-                string_id
-                for length, ids in self._by_length.items()
-                if abs(length - len(query)) <= config.k
-                for string_id in ids
-            ]
-            stats.length_survivors += len(candidates)
         matches: list[SearchMatch] = []
-        query_key = -1  # pseudo-id for the query's cached trie/profile
-        for string_id in sorted(candidates):
-            similar, probability = refiner.refine(
-                query_key, query, string_id, self.collection[string_id]
-            )
-            if similar:
-                matches.append(SearchMatch(string_id, probability))
-        total.stop()
+        with stats.timer("total"):
+            matches.extend(self.iter_matches(query, stats=stats))
         stats.result_pairs = len(matches)
         matches.sort()
         return SearchOutcome(matches=matches, stats=stats)

@@ -13,6 +13,29 @@ from dataclasses import dataclass, field
 from repro.util.timing import Stopwatch
 
 
+#: (stage, event) pairs that land in a named legacy counter field.
+#: Events recorded through :meth:`JoinStatistics.record` that are not
+#: listed here accumulate in the generic ``stage_counters`` registry.
+_STAGE_FIELDS: dict[tuple[str, str], str] = {
+    ("length", "eligible"): "length_eligible_pairs",
+    ("length", "survivors"): "length_survivors",
+    ("qgram", "survivors"): "qgram_survivors",
+    ("qgram", "rejected"): "qgram_rejected",
+    ("frequency", "checked"): "frequency_checked",
+    ("frequency", "survivors"): "frequency_survivors",
+    # The frequency filter never accepts, so "undecided" IS survival —
+    # the chain's generic verdict recording lands in the legacy field.
+    ("frequency", "undecided"): "frequency_survivors",
+    ("cdf", "checked"): "cdf_checked",
+    ("cdf", "accepted"): "cdf_accepted",
+    ("cdf", "rejected"): "cdf_rejected",
+    ("cdf", "undecided"): "cdf_undecided",
+    ("verification", "checked"): "verifications",
+    ("verification", "hits"): "verification_hits",
+    ("verification", "false"): "false_candidates",
+}
+
+
 @dataclass
 class JoinStatistics:
     """Counters and stopwatches for one join/search run."""
@@ -45,6 +68,34 @@ class JoinStatistics:
     result_pairs: int = 0
 
     timers: dict[str, Stopwatch] = field(default_factory=dict)
+    #: stage-name-keyed counters (``"stage.event"``) for events with no
+    #: dedicated legacy field — e.g. ``"bound.rejected"`` from the
+    #: plumbed Theorem 2 upper bound. Written through :meth:`record`.
+    stage_counters: dict[str, int] = field(default_factory=dict)
+
+    def record(self, stage: str, event: str, amount: int = 1) -> None:
+        """Count ``amount`` occurrences of ``event`` in ``stage``.
+
+        The single write path the engine's sources and stage chain use:
+        (stage, event) pairs with a dedicated counter field update that
+        field (so ``summary()``, ``merge`` and the benchmark reports are
+        unchanged); anything else accumulates under ``"stage.event"`` in
+        :attr:`stage_counters`.
+        """
+        name = _STAGE_FIELDS.get((stage, event))
+        if name is not None:
+            setattr(self, name, getattr(self, name) + amount)
+        else:
+            key = f"{stage}.{event}"
+            self.stage_counters[key] = self.stage_counters.get(key, 0) + amount
+
+    def stage_count(self, stage: str, event: str) -> int:
+        """Current value of a recorded counter (0 if never recorded)."""
+        name = _STAGE_FIELDS.get((stage, event))
+        if name is not None:
+            count: int = getattr(self, name)
+            return count
+        return self.stage_counters.get(f"{stage}.{event}", 0)
 
     def timer(self, stage: str) -> Stopwatch:
         """The (created-on-demand) stopwatch for ``stage``."""
@@ -106,6 +157,8 @@ class JoinStatistics:
         """
         for name in self.MERGE_COUNTERS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        for key, count in other.stage_counters.items():
+            self.stage_counters[key] = self.stage_counters.get(key, 0) + count
         for stage, watch in other.timers.items():
             if stage == "total" and not include_total:
                 continue
@@ -131,6 +184,10 @@ class JoinStatistics:
             f"(undecided {self.cdf_undecided})",
             f"verifications:        {self.verifications} "
             f"(hits {self.verification_hits}, false {self.false_candidates})",
+        ]
+        for key in sorted(self.stage_counters):
+            lines.append(f"{key + ':':<22}{self.stage_counters[key]}")
+        lines += [
             f"result pairs:         {self.result_pairs}",
             f"filter time:          {self.filtering_seconds:.4f}s",
             f"verification time:    {self.verification_seconds:.4f}s",

@@ -1,12 +1,14 @@
 """Top-N similarity join: the N most probably similar pairs.
 
 A (k, τ)-join needs a τ; when the right value is unknown, analysts often
-want "the N most likely duplicates" instead. This extension runs the
-paper's pipeline with an *adaptive* probability threshold: τ starts at 0
-and rises to the N-th best probability found so far, so every filter
-(Theorem 2, Theorem 3, CDF upper bounds) prunes against a monotonically
-tightening τ — exactly the pruning logic the fixed-τ proof gives, applied
-to a growing bound.
+want "the N most likely duplicates" instead. This adapter runs the
+ordinary :class:`~repro.core.engine.JoinEngine` with an *adaptive*
+:data:`~repro.core.pipeline.TauProvider`: τ starts at 0 and rises to the
+N-th best probability found so far, so every stage — the index probe
+(Theorem 2), frequency distance (Theorem 3), CDF bounds, and the
+source's plumbed upper bound — prunes against a monotonically tightening
+τ. Exactly the pruning logic the fixed-τ proof gives, applied to a
+growing bound; no stage logic is duplicated here.
 """
 
 from __future__ import annotations
@@ -15,14 +17,10 @@ import heapq
 from typing import Sequence
 
 from repro.core.config import JoinConfig
+from repro.core.engine import JoinEngine
 from repro.core.results import JoinOutcome, JoinPair
 from repro.core.stats import JoinStatistics
-from repro.filters.cdf import CdfBoundFilter
-from repro.filters.frequency import FrequencyDistanceFilter, FrequencyProfile
-from repro.index.inverted import SegmentInvertedIndex
 from repro.uncertain.string import UncertainString
-from repro.verify.trie import Trie, build_trie
-from repro.verify.trie_verify import trie_verify
 
 
 def top_k_join(
@@ -35,101 +33,39 @@ def top_k_join(
     """The ``count`` pairs with the highest ``Pr(ed <= k)`` (all > 0).
 
     Ties at the cut-off are broken arbitrarily. ``config`` may override
-    pipeline knobs; its ``tau`` is ignored (the threshold is adaptive)
-    and verification always computes exact probabilities.
+    pipeline knobs — including ``verification`` — with two caveats:
+    ``tau`` is ignored (the threshold is adaptive), and every reported
+    pair always carries its exact probability (ranking requires it), so
+    ``report_probabilities=False`` is promoted to exact verification
+    rather than skipping it. ``workers`` must be 1: the adaptive
+    threshold makes the visit loop inherently sequential.
     """
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
     base = config if config is not None else JoinConfig(k=k, tau=0.0, q=q)
     if base.k != k or base.q != q:
         raise ValueError("config.k / config.q must match the k / q arguments")
+    if base.workers != 1:
+        raise ValueError(
+            "top_k_join does not support config.workers > 1: the adaptive "
+            "threshold is shared mutable state across the visit loop, so "
+            f"the join is inherently sequential (got workers={base.workers})"
+        )
 
     stats = JoinStatistics(total_strings=len(collection))
-    index = (
-        SegmentInvertedIndex(
-            k=k,
-            q=q,
-            selection=base.selection,
-            group_mode=base.group_mode,
-            bound_mode=base.bound_mode,
-        )
-        if base.uses_qgram
-        else None
-    )
-    frequency = FrequencyDistanceFilter(k) if base.uses_frequency else None
-    cdf = CdfBoundFilter(k) if base.uses_cdf else None
-    profiles: dict[int, FrequencyProfile] = {}
-
-    def profile(string_id: int, string: UncertainString) -> FrequencyProfile:
-        prof = profiles.get(string_id)
-        if prof is None:
-            prof = FrequencyProfile(string)
-            profiles[string_id] = prof
-        return prof
-
     # Min-heap of (probability, left, right); heap[0] is the adaptive cut.
     best: list[tuple[float, int, int]] = []
 
     def current_tau() -> float:
         return best[0][0] if len(best) == count else 0.0
 
-    order = sorted(range(len(collection)), key=lambda i: (len(collection[i]), i))
-    rank_to_id = {rank: string_id for rank, string_id in enumerate(order)}
-    visited_by_length: dict[int, list[int]] = {}
-    total = stats.timer("total").start()
-    for rank, string_id in enumerate(order):
-        current = collection[string_id]
-        current_trie: Trie | None = None
-        if index is not None:
-            with stats.timer("qgram"):
-                candidates = [c.string_id for c in index.query(current, current_tau())]
-            stats.qgram_survivors += len(candidates)
-        else:
-            candidates = [
-                other
-                for length, ranks in visited_by_length.items()
-                if abs(length - len(current)) <= k
-                for other in ranks
-            ]
-            stats.length_survivors += len(candidates)
-        for other_rank in sorted(candidates):
-            other_id = rank_to_id[other_rank]
-            other = collection[other_id]
-            tau_now = current_tau()
-            if frequency is not None:
-                stats.frequency_checked += 1
-                with stats.timer("frequency"):
-                    decision = frequency.decide(
-                        profile(string_id, current), profile(other_id, other), tau_now
-                    )
-                if decision.rejected:
-                    continue
-                stats.frequency_survivors += 1
-            if cdf is not None:
-                stats.cdf_checked += 1
-                with stats.timer("cdf"):
-                    decision = cdf.decide(current, other, tau_now)
-                if decision.rejected:
-                    stats.cdf_rejected += 1
-                    continue
-            stats.verifications += 1
-            with stats.timer("verification"):
-                if current_trie is None:
-                    current_trie = build_trie(current)
-                probability = trie_verify(current, other, k, left_trie=current_trie)
-            if probability <= tau_now or probability <= 0.0:
-                stats.false_candidates += 1
-                continue
-            stats.verification_hits += 1
-            left, right = sorted((string_id, other_id))
-            heapq.heappush(best, (probability, left, right))
+    engine = JoinEngine(base, stats=stats, tau=current_tau, force_exact=True)
+    with stats.timer("total"):
+        for pair in engine.join(collection):
+            assert pair.probability is not None  # force_exact guarantees it
+            heapq.heappush(best, (pair.probability, pair.left_id, pair.right_id))
             if len(best) > count:
                 heapq.heappop(best)
-        if index is not None:
-            with stats.timer("index"):
-                index.add(rank, current)
-        visited_by_length.setdefault(len(current), []).append(rank)
-    total.stop()
 
     pairs = [
         JoinPair(left, right, probability)

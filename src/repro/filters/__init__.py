@@ -11,7 +11,7 @@ without instantiating possible worlds:
   (Theorem 4).
 """
 
-from repro.filters.base import FilterDecision, FilterVerdict
+from repro.filters.base import FilterDecision, FilterVerdict, PipelineStage
 from repro.filters.events import (
     exactly_counts,
     tail_probability,
@@ -38,6 +38,7 @@ from repro.filters.overlap import OverlapCountFilter
 __all__ = [
     "FilterDecision",
     "FilterVerdict",
+    "PipelineStage",
     "exactly_counts",
     "tail_probability",
     "markov_tail_bound",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
 
 
 class FilterVerdict(enum.Enum):
@@ -40,3 +41,25 @@ class FilterDecision:
     @property
     def accepted(self) -> bool:
         return self.verdict is FilterVerdict.ACCEPT
+
+
+@runtime_checkable
+class PipelineStage(Protocol):
+    """One filtering stage of the engine's refinement chain.
+
+    ``name`` keys the stage's counters (``checked`` / ``rejected`` /
+    ``accepted`` / ``undecided``) and its stopwatch in
+    :class:`repro.core.stats.JoinStatistics`; ``apply`` issues the
+    three-way :class:`FilterDecision` for one candidate pair. ``context``
+    is the chain's per-query state (an opaque object from the stage's
+    point of view — concrete stages downcast to the context type their
+    chain builds); ``candidate`` is the earlier-indexed string being
+    refined against the query, and ``tau`` the probability threshold in
+    force for this candidate (fixed, or the adaptive top-N bound).
+    """
+
+    @property
+    def name(self) -> str: ...
+
+    def apply(self, context: Any, candidate_id: int, candidate: Any,
+              tau: float) -> FilterDecision: ...

@@ -144,6 +144,17 @@ class SegmentInvertedIndex:
             out.extend(self._query_length(query, length, tau))
         return out
 
+    def probe(self, query: UncertainString, tau: float) -> list[tuple[int, float]]:
+        """``(string id, Theorem 2 upper bound)`` for every surviving
+        candidate, ascending by id — the flat adapter surface consumed by
+        :class:`repro.core.engine.SegmentIndexSource`."""
+        pairs = [
+            (candidate.string_id, candidate.upper)
+            for candidate in self.query(query, tau)
+        ]
+        pairs.sort()
+        return pairs
+
     def _query_length(
         self, query: UncertainString, length: int, tau: float
     ) -> list[IndexCandidate]:

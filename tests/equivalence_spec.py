@@ -1,0 +1,118 @@
+"""Deterministic workload spec for the driver-equivalence golden fixture.
+
+The engine refactor (ISSUE 2) must leave every driver's output —
+pairs, order, and probability floats — byte-identical to the
+pre-refactor seed drivers. This module pins the workloads: the same
+collections, queries, arrival orders, and config grid are used both by
+``tests/generate_golden.py`` (run once against the seed code to produce
+``tests/data/golden_driver_outputs.json``) and by
+``tests/test_driver_equivalence.py`` (run forever after against the
+refactored drivers).
+
+The string generator is a frozen copy of ``tests.helpers.random_uncertain``
+so later edits to the shared helpers cannot silently invalidate the
+fixture.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.config import ALGORITHMS, JoinConfig
+from repro.uncertain.position import UncertainPosition
+from repro.uncertain.string import UncertainString
+
+ALPHABET = "ACGT"
+KS = (1, 2, 3)
+TAU = 0.1
+Q = 2
+
+
+def _random_uncertain(
+    rng: random.Random,
+    length: int,
+    theta: float = 0.3,
+    gamma: int = 2,
+    max_uncertain: int = 3,
+) -> UncertainString:
+    positions = []
+    budget = max_uncertain
+    for _ in range(length):
+        if budget > 0 and rng.random() < theta:
+            support = min(rng.randint(2, max(2, gamma)), len(ALPHABET))
+            chars = rng.sample(ALPHABET, support)
+            weights = [rng.random() + 0.05 for _ in chars]
+            total = sum(weights)
+            positions.append(
+                UncertainPosition({c: w / total for c, w in zip(chars, weights)})
+            )
+            budget -= 1
+        else:
+            positions.append(UncertainPosition.certain(rng.choice(ALPHABET)))
+    return UncertainString(positions)
+
+
+def _collection(
+    seed: int, count: int, length_range: tuple[int, int]
+) -> list[UncertainString]:
+    rng = random.Random(seed)
+    return [
+        _random_uncertain(rng, rng.randint(*length_range)) for _ in range(count)
+    ]
+
+
+def self_collection() -> list[UncertainString]:
+    """Self-join / incremental workload: 16 strings, lengths 3–9."""
+    return _collection(1201, 16, (3, 9))
+
+
+def left_collection() -> list[UncertainString]:
+    return _collection(1301, 10, (3, 8))
+
+
+def right_collection() -> list[UncertainString]:
+    return _collection(1302, 12, (3, 8))
+
+
+def search_collection() -> list[UncertainString]:
+    return _collection(1401, 12, (4, 8))
+
+
+def search_queries() -> list[UncertainString]:
+    rng = random.Random(1402)
+    return [_random_uncertain(rng, rng.randint(4, 7)) for _ in range(3)]
+
+
+def incremental_order() -> list[int]:
+    """Shuffled arrival order for the incremental driver (probes both
+    length directions, unlike the length-sorted batch loop)."""
+    order = list(range(len(self_collection())))
+    random.Random(1501).shuffle(order)
+    return order
+
+
+def config_grid() -> Iterator[tuple[str, JoinConfig]]:
+    """(key, config) pairs: all variants × k ∈ {1,2,3} with exact
+    probabilities, plus two paper-mode (``report_probabilities=False``)
+    cases that pin the CDF-accept / ``probability=None`` path."""
+    for name in sorted(ALGORITHMS):
+        for k in KS:
+            yield (
+                f"{name}-k{k}-probs",
+                JoinConfig.for_algorithm(
+                    name, k=k, tau=TAU, q=Q, report_probabilities=True
+                ),
+            )
+    yield "QFCT-k1-paper", JoinConfig.for_algorithm("QFCT", k=1, tau=TAU, q=Q)
+    yield "QCT-k2-paper", JoinConfig.for_algorithm("QCT", k=2, tau=TAU, q=Q)
+
+
+def encode_pairs(pairs) -> list[list]:
+    """JSON-safe [[left, right, probability], ...] (floats round-trip
+    exactly through json's repr-based encoding)."""
+    return [[p.left_id, p.right_id, p.probability] for p in pairs]
+
+
+def encode_matches(matches) -> list[list]:
+    return [[m.string_id, m.probability] for m in matches]

@@ -1,0 +1,66 @@
+"""Generate the driver-equivalence golden fixture.
+
+Run against the *seed* (pre-refactor) drivers exactly once::
+
+    PYTHONPATH=src:. python tests/generate_golden.py
+
+The output ``tests/data/golden_driver_outputs.json`` pins the pairs,
+order, and probability floats every later refactor of the drivers must
+reproduce byte-for-byte (see ``tests/test_driver_equivalence.py``).
+Regenerating it against refactored code would defeat the fixture's
+purpose — only do that when the workload spec itself changes and the
+seed behaviour has been re-verified some other way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.incremental import IncrementalJoiner
+from repro.core.join import similarity_join
+from repro.core.join_two import similarity_join_two
+from repro.core.search import SimilaritySearcher
+
+from tests import equivalence_spec as spec
+
+OUT = Path(__file__).parent / "data" / "golden_driver_outputs.json"
+
+
+def main() -> None:
+    self_coll = spec.self_collection()
+    left = spec.left_collection()
+    right = spec.right_collection()
+    search_coll = spec.search_collection()
+    queries = spec.search_queries()
+    arrival = spec.incremental_order()
+
+    golden: dict[str, dict] = {}
+    for key, config in spec.config_grid():
+        joiner = IncrementalJoiner(config)
+        incremental_pairs = []
+        for original in arrival:
+            incremental_pairs.extend(joiner.add(self_coll[original]))
+        searcher = SimilaritySearcher(search_coll, config)
+        golden[key] = {
+            "join": spec.encode_pairs(similarity_join(self_coll, config).pairs),
+            "join_two": spec.encode_pairs(
+                similarity_join_two(left, right, config).pairs
+            ),
+            "search": [
+                spec.encode_matches(searcher.search(query).matches)
+                for query in queries
+            ],
+            "incremental": spec.encode_pairs(incremental_pairs),
+        }
+        print(f"{key}: join={len(golden[key]['join'])} "
+              f"join_two={len(golden[key]['join_two'])} "
+              f"incremental={len(golden[key]['incremental'])}")
+
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    main()

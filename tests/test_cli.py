@@ -65,6 +65,41 @@ class TestJoin:
         captured = capsys.readouterr()
         assert "result pairs" in captured.err
 
+    def test_stream_yields_same_pairs_as_batch(self, collection_file, capsys):
+        main(["join", str(collection_file), "-k", "1", "--tau", "0.2",
+              "--probabilities"])
+        batch = capsys.readouterr().out.splitlines()
+        main(["join", str(collection_file), "-k", "1", "--tau", "0.2",
+              "--probabilities", "--stream"])
+        streamed = capsys.readouterr().out.splitlines()
+        assert sorted(streamed) == sorted(batch)
+
+    def test_stream_ignores_workers(self, collection_file, capsys):
+        assert main(
+            ["join", str(collection_file), "-k", "1", "--tau", "0.2",
+             "--workers", "4", "--stream", "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "result pairs" in captured.err
+
+
+class TestTopK:
+    def test_outputs_requested_count_with_probabilities(
+        self, collection_file, capsys
+    ):
+        assert main(
+            ["topk", str(collection_file), "-k", "2", "--count", "5"]
+        ) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        assert len(lines) <= 5
+        probs = [float(l.split("\t")[2]) for l in lines]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_stats_on_stderr(self, collection_file, capsys):
+        main(["topk", str(collection_file), "-k", "1", "--count", "3",
+              "--stats"])
+        assert "result pairs" in capsys.readouterr().err
+
 
 class TestSearch:
     def test_search_finds_member(self, collection_file, capsys):

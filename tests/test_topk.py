@@ -67,6 +67,33 @@ class TestTopK:
         with pytest.raises(ValueError, match="must match"):
             top_k_join([], k=1, count=1, config=JoinConfig(k=2, tau=0.0))
 
+    def test_rejects_parallel_workers(self):
+        config = JoinConfig(k=1, tau=0.0, q=2, workers=4)
+        with pytest.raises(ValueError, match="workers"):
+            top_k_join([], k=1, count=1, q=2, config=config)
+
+    def test_honors_naive_verification(self):
+        rng = random.Random(5)
+        collection = random_collection(rng, 10, length_range=(4, 6))
+        naive = JoinConfig.for_algorithm(
+            "QFCT", k=1, tau=0.0, q=2, verification="naive"
+        )
+        outcome = top_k_join(collection, k=1, count=4, q=2, config=naive)
+        expected = brute_top(collection, 1, 4)
+        assert [p.probability for p in outcome.pairs] == pytest.approx(
+            [p for _, _, p in expected], abs=1e-9
+        )
+
+    def test_probabilities_reported_despite_paper_mode_config(self):
+        # report_probabilities=False is promoted: ranking needs exact
+        # probabilities, so every returned pair must carry one.
+        rng = random.Random(6)
+        collection = random_collection(rng, 10, length_range=(4, 6))
+        config = JoinConfig(k=1, tau=0.0, q=2, report_probabilities=False)
+        outcome = top_k_join(collection, k=1, count=3, q=2, config=config)
+        assert outcome.pairs
+        assert all(p.probability is not None for p in outcome.pairs)
+
     def test_zero_probability_pairs_excluded(self):
         collection = [
             UncertainString.from_text("AAAA"),
