@@ -25,15 +25,25 @@ reproduced evaluation.
 
 from repro.core import (
     ALGORITHMS,
+    BandTimeoutError,
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+    CheckpointStore,
+    ConfigurationError,
+    CorruptResultError,
+    DatasetRecordError,
     IncrementalJoiner,
     JoinConfig,
     JoinEngine,
     JoinOutcome,
     JoinPair,
     JoinStatistics,
+    ReproError,
+    RetryPolicy,
     SearchMatch,
     SearchOutcome,
     SimilaritySearcher,
+    WorkerCrashError,
     iter_join_pairs,
     iter_matches,
     parallel_similarity_join,
@@ -58,6 +68,7 @@ from repro.uncertain import (
     format_uncertain,
     parse_uncertain,
 )
+from repro.util import FaultPlan, FaultSpec
 from repro.verify import naive_verify, trie_verify
 
 __version__ = "1.0.0"
@@ -94,5 +105,17 @@ __all__ = [
     "parse_uncertain",
     "naive_verify",
     "trie_verify",
+    "ReproError",
+    "ConfigurationError",
+    "WorkerCrashError",
+    "CorruptResultError",
+    "BandTimeoutError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+    "DatasetRecordError",
+    "RetryPolicy",
+    "CheckpointStore",
+    "FaultPlan",
+    "FaultSpec",
     "__version__",
 ]

@@ -71,6 +71,41 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs of the banded parallel driver."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-dispatches a failed band gets before it is degraded to "
+        "an in-process run (default 2)",
+    )
+    parser.add_argument(
+        "--band-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-band execution deadline; a band exceeding it is "
+        "retried, then degraded (default: no limit)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_DIR",
+        help="checkpoint run directory: completed bands are persisted "
+        "there (atomically) and re-running the same command resumes, "
+        "skipping them; created on first use",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault plan for the band executor, e.g. "
+        "'crash@2x3,hang@0/1.5' (testing/benchmarks; never changes "
+        "results)",
+    )
+
+
 def _config(args: argparse.Namespace) -> JoinConfig:
     return JoinConfig.for_algorithm(
         args.algorithm,
@@ -79,6 +114,10 @@ def _config(args: argparse.Namespace) -> JoinConfig:
         q=args.q,
         report_probabilities=args.probabilities,
         workers=getattr(args, "workers", 1),
+        retries=getattr(args, "retries", 2),
+        band_timeout=getattr(args, "band_timeout", None),
+        checkpoint_dir=getattr(args, "resume", None),
+        fault_spec=getattr(args, "inject_faults", None),
     )
 
 
@@ -109,7 +148,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if args.stream:
         # Pairs appear as the engine discovers them (discovery order,
         # not sorted) — flushed line by line for downstream consumers.
-        config = replace(config, workers=1)
+        # Streaming is serial: banding and checkpointing don't apply.
+        config = replace(config, workers=1, checkpoint_dir=None)
         stats = JoinStatistics(total_strings=len(collection))
         for pair in iter_join_pairs(collection, config, stats=stats):
             _print_pair(pair)
@@ -181,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     join = commands.add_parser("join", help="self-join a collection file")
     join.add_argument("collection", help="collection file (one string per line)")
     _add_join_options(join)
+    _add_resilience_options(join)
     join.add_argument(
         "--stream",
         action="store_true",

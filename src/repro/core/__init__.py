@@ -10,6 +10,17 @@ directly.
 """
 
 from repro.core.config import ALGORITHMS, JoinConfig
+from repro.core.errors import (
+    BandTimeoutError,
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+    ConfigurationError,
+    CorruptResultError,
+    DatasetRecordError,
+    ReproError,
+    WorkerCrashError,
+)
+from repro.core.executor import CheckpointStore, RetryPolicy, run_bands
 from repro.core.results import JoinOutcome, JoinPair, SearchMatch, SearchOutcome
 from repro.core.stats import JoinStatistics
 from repro.core.engine import (
@@ -38,6 +49,17 @@ from repro.core.topk import top_k_join
 __all__ = [
     "ALGORITHMS",
     "JoinConfig",
+    "ReproError",
+    "ConfigurationError",
+    "WorkerCrashError",
+    "CorruptResultError",
+    "BandTimeoutError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+    "DatasetRecordError",
+    "RetryPolicy",
+    "CheckpointStore",
+    "run_bands",
     "JoinOutcome",
     "JoinPair",
     "JoinEngine",

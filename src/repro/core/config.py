@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Literal
 
+from repro.core.errors import ConfigurationError
 from repro.filters.alpha import GroupMode
 from repro.partition.selection import SELECTION_MODES, SelectionMode
+from repro.util.faults import FaultPlan
 
 FilterName = Literal["qgram", "frequency", "cdf"]
 VerificationName = Literal["trie", "naive"]
@@ -63,6 +65,25 @@ class JoinConfig:
         into contiguous length bands (plus a k-wide halo) handled by
         :mod:`repro.core.parallel`. The result pair list is identical
         either way.
+    retries:
+        Re-dispatches a failed band gets before the executor degrades
+        it to an in-process run (:mod:`repro.core.executor`). Only
+        meaningful for the banded drivers.
+    band_timeout:
+        Per-band execution deadline in seconds (``None`` = no limit);
+        a band that exceeds it is retried, then degraded. The degraded
+        in-process attempt never has a deadline.
+    checkpoint_dir:
+        Run directory for checkpoint/resume (CLI ``--resume``). When
+        set, the banded driver persists each completed band atomically
+        and a re-run over identical inputs loads completed bands
+        instead of recomputing them. ``None`` (default) disables
+        checkpointing.
+    fault_spec:
+        Deterministic fault-injection plan for the band executor, in
+        :meth:`repro.util.faults.FaultPlan.from_spec` syntax (e.g.
+        ``"crash@2x3,hang@0/1.5"``). Testing/benchmark hook; ``None``
+        (default) injects nothing and injection never changes results.
     """
 
     k: int
@@ -76,33 +97,61 @@ class JoinConfig:
     report_probabilities: bool = False
     early_stop_verification: bool = True
     workers: int = 1
+    retries: int = 2
+    band_timeout: float | None = None
+    checkpoint_dir: str | None = None
+    fault_spec: str | None = None
 
     def __post_init__(self) -> None:
         if self.k < 0:
-            raise ValueError(f"k must be non-negative, got {self.k}")
+            raise ConfigurationError(f"k must be non-negative, got {self.k}")
         if not 0.0 <= self.tau < 1.0:
-            raise ValueError(f"tau must be in [0, 1), got {self.tau}")
+            raise ConfigurationError(f"tau must be in [0, 1), got {self.tau}")
         if self.q <= 0:
-            raise ValueError(f"q must be positive, got {self.q}")
+            raise ConfigurationError(f"q must be positive, got {self.q}")
         seen: set[str] = set()
         for name in self.filters:
             if name not in _VALID_FILTERS:
-                raise ValueError(f"unknown filter {name!r}")
+                raise ConfigurationError(f"unknown filter {name!r}")
             if name in seen:
-                raise ValueError(f"duplicate filter {name!r}")
+                raise ConfigurationError(f"duplicate filter {name!r}")
             seen.add(name)
         if self.verification not in ("trie", "naive"):
-            raise ValueError(f"unknown verification {self.verification!r}")
+            raise ConfigurationError(
+                f"unknown verification {self.verification!r}"
+            )
         if self.selection not in SELECTION_MODES:
-            raise ValueError(f"unknown selection mode {self.selection!r}")
+            raise ConfigurationError(
+                f"unknown selection mode {self.selection!r}"
+            )
         if self.group_mode not in ("exact", "beta"):
-            raise ValueError(f"unknown group mode {self.group_mode!r}")
+            raise ConfigurationError(f"unknown group mode {self.group_mode!r}")
         if self.bound_mode not in ("paper", "markov"):
-            raise ValueError(f"unknown bound mode {self.bound_mode!r}")
+            raise ConfigurationError(f"unknown bound mode {self.bound_mode!r}")
         if not isinstance(self.workers, int) or isinstance(self.workers, bool):
-            raise ValueError(f"workers must be an int, got {self.workers!r}")
+            raise ConfigurationError(
+                f"workers must be an int, got {self.workers!r}"
+            )
         if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if not isinstance(self.retries, int) or isinstance(self.retries, bool):
+            raise ConfigurationError(
+                f"retries must be an int, got {self.retries!r}"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be non-negative, got {self.retries}"
+            )
+        if self.band_timeout is not None and not self.band_timeout > 0:
+            raise ConfigurationError(
+                f"band_timeout must be positive or None, got {self.band_timeout}"
+            )
+        try:
+            FaultPlan.from_spec(self.fault_spec)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
 
     @classmethod
     def for_algorithm(cls, name: str, k: int, tau: float, **overrides) -> "JoinConfig":

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.core.config import JoinConfig
+from repro.core.errors import ConfigurationError
 from repro.core.pipeline import StageChain, TauProvider
 from repro.core.results import JoinPair, SearchMatch
 from repro.core.stats import JoinStatistics
@@ -135,7 +136,7 @@ class LengthBandSource:
 
     def __init__(self, k: int) -> None:
         if k < 0:
-            raise ValueError(f"k must be non-negative, got {k}")
+            raise ConfigurationError(f"k must be non-negative, got {k}")
         self._k = k
         self._rank_to_id: list[int] = []
         self._ranks_by_length: dict[int, list[int]] = {}
@@ -301,7 +302,7 @@ def iter_join_pairs(
     1 (the batch driver handles banded parallelism).
     """
     if config.workers != 1:
-        raise ValueError(
+        raise ConfigurationError(
             "iter_join_pairs streams the serial visit loop; "
             f"config.workers must be 1, got {config.workers}"
         )

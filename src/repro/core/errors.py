@@ -1,0 +1,149 @@
+"""Shared exception taxonomy of the fault-tolerant execution layer.
+
+Every failure the join service can surface derives from
+:class:`ReproError`, so callers distinguish "this system misbehaved"
+from arbitrary Python errors with one ``except`` clause. Subclasses
+carry structured context (band index, attempt counts, file paths,
+record/column positions) instead of burying it in message text, and all
+of them survive a pickle round-trip — band failures cross the
+``ProcessPoolExecutor`` boundary as exception objects.
+
+Two classes double-inherit ``ValueError`` for backward compatibility:
+:class:`ConfigurationError` (config validation historically raised
+``ValueError``) and :class:`DatasetRecordError` (malformed records
+historically surfaced the parser's ``ValueError`` subclass).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro join system."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid configuration value (``JoinConfig``, driver knobs, CLI).
+
+    Subclasses ``ValueError`` so pre-taxonomy callers that caught
+    ``ValueError`` keep working.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A band task failed permanently — in the pool *and* in-process.
+
+    Raised only after the executor has exhausted its retry budget and
+    the final in-process degraded attempt also failed; the original
+    failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, band_index: int, attempts: int, detail: str) -> None:
+        super().__init__(
+            f"band {band_index} failed after {attempts} attempt(s): {detail}"
+        )
+        self.band_index = band_index
+        self.attempts = attempts
+        self.detail = detail
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["WorkerCrashError"], tuple[int, int, str]]:
+        return type(self), (self.band_index, self.attempts, self.detail)
+
+
+class CorruptResultError(WorkerCrashError):
+    """A band task returned a malformed result (wrong shape or band id).
+
+    Counted separately (``fault.corrupt``) but handled like a crash:
+    the band is retried and, failing that, degraded in-process.
+    """
+
+    def __init__(self, band_index: int, detail: str) -> None:
+        super().__init__(band_index, 1, detail)
+
+    def __reduce__(  # type: ignore[override]
+        self,
+    ) -> tuple[type["CorruptResultError"], tuple[int, str]]:
+        return type(self), (self.band_index, self.detail)
+
+
+class BandTimeoutError(ReproError):
+    """A band task exceeded its per-band execution deadline."""
+
+    def __init__(self, band_index: int, timeout: float) -> None:
+        super().__init__(
+            f"band {band_index} exceeded its {timeout:.3f}s timeout"
+        )
+        self.band_index = band_index
+        self.timeout = timeout
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["BandTimeoutError"], tuple[int, float]]:
+        return type(self), (self.band_index, self.timeout)
+
+
+class CheckpointCorruptError(ReproError):
+    """A checkpoint or persisted index file is unreadable or malformed.
+
+    ``path`` names the offending file; ``detail`` says what failed
+    (bad magic, unsupported version, truncated payload, …).
+    """
+
+    def __init__(self, path: str, detail: str) -> None:
+        super().__init__(f"{path}: {detail}")
+        self.path = path
+        self.detail = detail
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["CheckpointCorruptError"], tuple[str, str]]:
+        return type(self), (self.path, self.detail)
+
+
+class CheckpointMismatchError(ReproError):
+    """A run directory belongs to a different join (input/config/bands).
+
+    Resuming is only sound when the collection, the result-affecting
+    configuration, and the band plan are identical to the original run;
+    anything else must fail loudly rather than merge incompatible bands.
+    """
+
+    def __init__(self, path: str, detail: str) -> None:
+        super().__init__(f"{path}: {detail}")
+        self.path = path
+        self.detail = detail
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["CheckpointMismatchError"], tuple[str, str]]:
+        return type(self), (self.path, self.detail)
+
+
+class DatasetRecordError(ReproError, ValueError):
+    """One malformed record in a collection file.
+
+    Carries the file ``path``, the 1-based ``record`` (line) number, the
+    ``column`` offset within the record the parser choked on (``None``
+    when unknown), and the parser's ``detail`` message. Subclasses
+    ``ValueError`` because record errors historically surfaced as the
+    parser's ``UncertainStringSyntaxError`` (a ``ValueError``).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        record: int,
+        column: int | None,
+        detail: str,
+    ) -> None:
+        super().__init__(f"{path}:{record}: {detail}")
+        self.path = path
+        self.record = record
+        self.column = column
+        self.detail = detail
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["DatasetRecordError"], tuple[str, int, "int | None", str]]:
+        return type(self), (self.path, self.record, self.column, self.detail)

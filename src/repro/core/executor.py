@@ -1,0 +1,556 @@
+"""Fault-tolerant band execution: futures, retries, timeouts, checkpoints.
+
+The banded parallel join makes length bands natural *fault domains*:
+each band is independent and deterministic, so a crashed, hung, or
+corrupted band can be re-dispatched alone while every other band's
+result is kept. :func:`run_bands` replaces the old all-or-nothing
+``pool.map`` with that policy:
+
+* **future per band** — one ``ProcessPoolExecutor`` future per band, so
+  a single worker death no longer discards completed bands;
+* **per-band timeout** — a worker-side ``SIGALRM`` deadline (raising
+  :class:`~repro.core.errors.BandTimeoutError` inside the band call)
+  plus a parent-side backstop for workers too wedged to take a signal;
+* **bounded retries with exponential backoff** — each failed band is
+  resubmitted up to ``RetryPolicy.retries`` times; a broken pool is
+  rebuilt between rounds;
+* **per-band degradation** — a band that exhausts its retries runs once
+  more *in-process* with no timeout; only if that also fails does the
+  join abort, with :class:`~repro.core.errors.WorkerCrashError`
+  chaining the original cause;
+* **fault accounting** — every event lands in ``JoinStatistics`` stage
+  counters: ``fault.retried``, ``fault.degraded``, ``fault.timeout``,
+  plus ``fault.crashed``, ``fault.corrupt``, ``fault.resumed`` and
+  ``fault.pool_unavailable``;
+* **checkpoint/resume** — with a :class:`CheckpointStore`, each
+  completed band is atomically persisted (tmp file + ``os.replace``,
+  versioned header) and a later run over the same inputs loads it
+  instead of recomputing, producing byte-identical output.
+
+Fault injection (:mod:`repro.util.faults`) hooks into the single
+``_band_call`` wrapper every execution path shares, so the same
+deterministic plan exercises the pool path, the in-process path, the
+retry loop, and degradation.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import signal
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.errors import (
+    BandTimeoutError,
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+    ConfigurationError,
+    CorruptResultError,
+    WorkerCrashError,
+)
+from repro.core.results import JoinPair
+from repro.core.stats import JoinStatistics
+from repro.util.faults import FaultPlan, inject
+
+#: What a band task returns: ``(band_index, owned pairs, band stats)``.
+BandResult = tuple[int, list[JoinPair], JoinStatistics]
+#: A band task: module-level callable (pool-picklable) payload -> result.
+BandTask = Callable[[Any], BandResult]
+
+#: Sentinel head of the garbage tuple a ``corrupt`` fault returns.
+_CORRUPT_SENTINEL = "__corrupt-band-result__"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/timeout/backoff knobs of the band executor.
+
+    ``retries`` counts *re-dispatches*: a band gets ``retries + 1``
+    dispatched attempts, then one in-process degraded attempt.
+    ``timeout`` is the per-band deadline in seconds (``None`` = no
+    limit); the degraded attempt always runs without a deadline.
+    Backoff before re-dispatch ``n`` (1-based) is
+    ``backoff * backoff_factor ** (n - 1)`` seconds; ``sleep`` is
+    injectable so tests can run the schedule without waiting.
+    """
+
+    retries: int = 2
+    timeout: float | None = None
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be non-negative, got {self.retries}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive or None, got {self.timeout}"
+            )
+        if self.backoff < 0 or self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                "backoff must be >= 0 and backoff_factor >= 1, got "
+                f"{self.backoff}/{self.backoff_factor}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-dispatching after failed 0-based ``attempt``."""
+        return self.backoff * self.backoff_factor**attempt
+
+
+# ----------------------------------------------------------------------
+# checkpoint store
+# ----------------------------------------------------------------------
+
+#: Bump when the band checkpoint layout changes incompatibly.
+CHECKPOINT_MAGIC = "repro-band-checkpoint"
+CHECKPOINT_VERSION = 1
+_MANIFEST_NAME = "run.json"
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via tmp file + rename (crash-atomic)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(data)
+    tmp.replace(path)
+
+
+class CheckpointStore:
+    """Atomic per-band checkpoints under one run directory.
+
+    Layout: ``run.json`` (magic, version, join fingerprint, band count)
+    plus one ``band-NNNNN.ckpt`` pickle per completed band, each with
+    its own versioned header. Every write goes through a tmp file and
+    ``os.replace``, so a kill mid-write never leaves a half file — a
+    checkpoint either exists completely or not at all.
+    """
+
+    def __init__(self, run_dir: str | Path) -> None:
+        self.run_dir = Path(run_dir)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / _MANIFEST_NAME
+
+    def band_path(self, band_index: int) -> Path:
+        return self.run_dir / f"band-{band_index:05d}.ckpt"
+
+    def open(self, fingerprint: str, bands: int) -> None:
+        """Create the run directory/manifest, or validate an existing one.
+
+        Raises :class:`CheckpointMismatchError` when the directory
+        belongs to a different join (input, config, or band plan) and
+        :class:`CheckpointCorruptError` when the manifest is unreadable.
+        """
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        manifest = self.manifest_path
+        if manifest.exists():
+            try:
+                document = json.loads(manifest.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise CheckpointCorruptError(
+                    str(manifest), f"unreadable run manifest: {exc}"
+                ) from exc
+            if (
+                not isinstance(document, dict)
+                or document.get("magic") != CHECKPOINT_MAGIC
+                or document.get("version") != CHECKPOINT_VERSION
+            ):
+                raise CheckpointCorruptError(
+                    str(manifest),
+                    "bad run-manifest magic/version (expected "
+                    f"{CHECKPOINT_MAGIC!r} v{CHECKPOINT_VERSION})",
+                )
+            if (
+                document.get("fingerprint") != fingerprint
+                or document.get("bands") != bands
+            ):
+                raise CheckpointMismatchError(
+                    str(manifest),
+                    "run directory belongs to a different join "
+                    "(input collection, result-affecting config, or "
+                    "band plan changed); use a fresh --resume directory",
+                )
+            return
+        payload = {
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "bands": bands,
+        }
+        _atomic_write_bytes(
+            manifest, json.dumps(payload, indent=2).encode("utf-8")
+        )
+
+    def completed_bands(self) -> list[int]:
+        """Band indices with an existing checkpoint file, ascending."""
+        indices: list[int] = []
+        for path in self.run_dir.glob("band-*.ckpt"):
+            stem = path.stem.partition("-")[2]
+            if stem.isdigit():
+                indices.append(int(stem))
+        return sorted(indices)
+
+    def save(
+        self, band_index: int, pairs: list[JoinPair], stats: JoinStatistics
+    ) -> None:
+        """Atomically persist one completed band's result."""
+        document = {
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "band": band_index,
+            "pairs": pairs,
+            "stats": stats,
+        }
+        _atomic_write_bytes(self.band_path(band_index), pickle.dumps(document))
+
+    def load(self, band_index: int) -> BandResult:
+        """Load one band checkpoint, verifying its header.
+
+        Truncated, unpicklable, or mis-headed files raise
+        :class:`CheckpointCorruptError` naming the offending path.
+        """
+        path = self.band_path(band_index)
+        try:
+            document = pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            raise
+        except Exception as exc:  # pickle raises many concrete types
+            raise CheckpointCorruptError(
+                str(path), f"unreadable band checkpoint: {exc}"
+            ) from exc
+        if (
+            not isinstance(document, dict)
+            or document.get("magic") != CHECKPOINT_MAGIC
+            or document.get("version") != CHECKPOINT_VERSION
+        ):
+            raise CheckpointCorruptError(
+                str(path),
+                "bad band-checkpoint magic/version (expected "
+                f"{CHECKPOINT_MAGIC!r} v{CHECKPOINT_VERSION})",
+            )
+        pairs = document.get("pairs")
+        stats = document.get("stats")
+        if (
+            document.get("band") != band_index
+            or not isinstance(pairs, list)
+            or not isinstance(stats, JoinStatistics)
+        ):
+            raise CheckpointCorruptError(
+                str(path), "band checkpoint payload is malformed"
+            )
+        return band_index, pairs, stats
+
+    def load_if_present(self, band_index: int) -> BandResult | None:
+        """:meth:`load`, or ``None`` when the band has no checkpoint."""
+        if not self.band_path(band_index).exists():
+            return None
+        return self.load(band_index)
+
+
+# ----------------------------------------------------------------------
+# band call wrapper (runs in workers — everything here must pickle)
+# ----------------------------------------------------------------------
+
+
+@contextmanager
+def _deadline(band_index: int, timeout: float | None) -> Iterator[None]:
+    """Raise :class:`BandTimeoutError` inside the call after ``timeout``.
+
+    Uses ``SIGALRM``/``setitimer``, so it only arms in the main thread
+    of a process on platforms with the signal (pool workers run tasks
+    in their main thread); elsewhere the parent-side backstop in
+    :func:`run_bands` is the only deadline.
+    """
+    usable = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+    assert timeout is not None
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise BandTimeoutError(band_index, timeout)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _band_call(
+    task: BandTask,
+    band_index: int,
+    payload: Any,
+    attempt: int,
+    timeout: float | None,
+    faults: FaultPlan | None,
+) -> Any:
+    """One attempt at one band: deadline + fault hook + the task itself."""
+    fault = faults.fault_for(band_index, attempt) if faults else None
+    with _deadline(band_index, timeout):
+        if fault is not None:
+            if fault.kind == "corrupt":
+                return (_CORRUPT_SENTINEL, band_index, attempt)
+            inject(fault, attempt)
+        return task(payload)
+
+
+def _validate_result(result: Any, band_index: int) -> BandResult:
+    """Check a band call's return value; garbage raises CorruptResultError."""
+    if (
+        not isinstance(result, tuple)
+        or len(result) != 3
+        or result[0] != band_index
+        or not isinstance(result[1], list)
+        or not isinstance(result[2], JoinStatistics)
+    ):
+        raise CorruptResultError(
+            band_index,
+            f"band task returned a malformed result ({type(result).__name__})",
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+
+
+def _record_failure(
+    exc: BaseException, stats: JoinStatistics, *, backstop: bool = False
+) -> None:
+    """Credit one failed attempt to the right ``fault.*`` counter."""
+    if backstop or isinstance(exc, (BandTimeoutError, FuturesTimeoutError)):
+        stats.record("fault", "timeout")
+    elif isinstance(exc, CorruptResultError):
+        stats.record("fault", "corrupt")
+    else:
+        stats.record("fault", "crashed")
+
+
+def _degraded_run(
+    task: BandTask,
+    band_index: int,
+    payload: Any,
+    policy: RetryPolicy,
+    faults: FaultPlan | None,
+) -> BandResult:
+    """The last-resort attempt: in-process, no deadline.
+
+    A failure here is terminal — the band is deterministic, so if it
+    cannot complete in the parent either, the join must abort.
+    """
+    attempt = policy.retries + 1
+    try:
+        result = _band_call(task, band_index, payload, attempt, None, faults)
+        return _validate_result(result, band_index)
+    except Exception as exc:
+        raise WorkerCrashError(
+            band_index,
+            attempt + 1,
+            f"in-process degraded execution also failed: {exc}",
+        ) from exc
+
+
+def _finish_in_process(
+    task: BandTask,
+    band_index: int,
+    payload: Any,
+    first_attempt: int,
+    policy: RetryPolicy,
+    stats: JoinStatistics,
+    faults: FaultPlan | None,
+) -> BandResult:
+    """Run one band's remaining attempts (then degradation) in-process."""
+    for attempt in range(first_attempt, policy.retries + 1):
+        try:
+            result = _band_call(
+                task, band_index, payload, attempt, policy.timeout, faults
+            )
+            return _validate_result(result, band_index)
+        except Exception as exc:
+            _record_failure(exc, stats)
+        if attempt < policy.retries:
+            stats.record("fault", "retried")
+            policy.sleep(policy.delay(attempt))
+    stats.record("fault", "degraded")
+    return _degraded_run(task, band_index, payload, policy, faults)
+
+
+def _run_pool_rounds(
+    task: BandTask,
+    pending: list[tuple[int, Any]],
+    workers: int,
+    policy: RetryPolicy,
+    stats: JoinStatistics,
+    faults: FaultPlan | None,
+    complete: Callable[[int, BandResult], None],
+) -> None:
+    """Dispatch bands to a process pool, one submission round per attempt.
+
+    Failures within a round are collected and re-dispatched together in
+    the next round (after one backoff sleep covering the longest
+    scheduled delay); a broken pool is torn down and rebuilt between
+    rounds. When the platform cannot spawn workers at all, the
+    remaining bands finish in-process with identical semantics.
+    """
+    queue: list[tuple[int, Any, int]] = [
+        (band_index, payload, 0) for band_index, payload in pending
+    ]
+    backstop = None if policy.timeout is None else policy.timeout * 2 + 15.0
+    process_mode = True
+    while queue:
+        if process_mode:
+            pool: ProcessPoolExecutor | None = None
+            futures: list[tuple[Future[Any], int, Any, int]] = []
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(workers, len(queue))
+                )
+                for band_index, payload, attempt in queue:
+                    futures.append(
+                        (
+                            pool.submit(
+                                _band_call,
+                                task,
+                                band_index,
+                                payload,
+                                attempt,
+                                policy.timeout,
+                                faults,
+                            ),
+                            band_index,
+                            payload,
+                            attempt,
+                        )
+                    )
+            except (BrokenProcessPool, OSError, RuntimeError):
+                # The platform refuses to run worker processes (sandbox
+                # without fork, pool broken at submit time): degrade the
+                # whole run to in-process execution, once, loudly.
+                stats.record("fault", "pool_unavailable")
+                process_mode = False
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                continue
+        if not process_mode:
+            for band_index, payload, attempt in queue:
+                complete(
+                    band_index,
+                    _finish_in_process(
+                        task, band_index, payload, attempt, policy, stats, faults
+                    ),
+                )
+            return
+
+        next_queue: list[tuple[int, Any, int]] = []
+        for future, band_index, payload, attempt in futures:
+            try:
+                result = future.result(timeout=backstop)
+                complete(band_index, _validate_result(result, band_index))
+                continue
+            except FuturesTimeoutError as exc:
+                # Parent-side backstop: the worker ignored its own
+                # deadline — treat the pool as wedged.
+                _record_failure(exc, stats, backstop=True)
+            except Exception as exc:
+                _record_failure(exc, stats)
+            if attempt < policy.retries:
+                stats.record("fault", "retried")
+                next_queue.append((band_index, payload, attempt + 1))
+            else:
+                stats.record("fault", "degraded")
+                complete(
+                    band_index,
+                    _degraded_run(task, band_index, payload, policy, faults),
+                )
+        # Abandon rather than join a possibly-wedged pool; workers of a
+        # healthy pool exit on their own once their queues drain.
+        assert pool is not None
+        pool.shutdown(wait=False, cancel_futures=True)
+        if next_queue:
+            policy.sleep(
+                max(policy.delay(attempt - 1) for _, _, attempt in next_queue)
+            )
+        queue = next_queue
+
+
+def run_bands(
+    task: BandTask,
+    payloads: Sequence[tuple[int, Any]],
+    *,
+    workers: int,
+    use_processes: bool = True,
+    policy: RetryPolicy | None = None,
+    stats: JoinStatistics | None = None,
+    faults: FaultPlan | None = None,
+    checkpoint: CheckpointStore | None = None,
+) -> list[BandResult]:
+    """Execute band ``payloads`` fault-tolerantly; results sorted by band.
+
+    Each payload is ``(band_index, payload)`` and ``task(payload)`` must
+    return ``(band_index, pairs, stats)`` for that band. With a
+    ``checkpoint`` store, already-persisted bands are loaded instead of
+    executed (counted as ``fault.resumed``) and every freshly completed
+    band is persisted before the next one is awaited, so a killed run
+    loses at most the bands still in flight.
+
+    Raises :class:`WorkerCrashError` when a band fails its dispatched
+    attempts *and* the in-process degraded attempt;
+    :class:`CheckpointCorruptError` when a checkpoint exists but cannot
+    be read back.
+    """
+    if policy is None:
+        policy = RetryPolicy()
+    if stats is None:
+        stats = JoinStatistics()
+    results: dict[int, BandResult] = {}
+
+    def complete(band_index: int, result: BandResult) -> None:
+        results[band_index] = result
+        if checkpoint is not None:
+            checkpoint.save(band_index, result[1], result[2])
+
+    pending: list[tuple[int, Any]] = []
+    for band_index, payload in payloads:
+        cached = (
+            checkpoint.load_if_present(band_index)
+            if checkpoint is not None
+            else None
+        )
+        if cached is not None:
+            stats.record("fault", "resumed")
+            results[band_index] = cached
+        else:
+            pending.append((band_index, payload))
+
+    if use_processes and workers > 1 and len(pending) > 1:
+        _run_pool_rounds(
+            task, pending, workers, policy, stats, faults, complete
+        )
+    else:
+        for band_index, payload in pending:
+            complete(
+                band_index,
+                _finish_in_process(
+                    task, band_index, payload, 0, policy, stats, faults
+                ),
+            )
+    return [results[band_index] for band_index in sorted(results)]

@@ -27,11 +27,13 @@ def similarity_join(
     per-stage counters/timers the benchmarks report. For pair-by-pair
     consumption use :func:`repro.core.engine.iter_join_pairs`.
 
-    With ``config.workers > 1`` the work is delegated to the
-    length-banded parallel driver (:mod:`repro.core.parallel`), which
-    produces an identical pair list.
+    With ``config.workers > 1`` or a ``config.checkpoint_dir`` set the
+    work is delegated to the length-banded parallel driver
+    (:mod:`repro.core.parallel`) under the fault-tolerant band executor
+    (retries, timeouts, checkpoint/resume); the pair list is identical
+    either way.
     """
-    if config.workers > 1:
+    if config.workers > 1 or config.checkpoint_dir is not None:
         from repro.core.parallel import parallel_similarity_join
 
         return parallel_similarity_join(collection, config)

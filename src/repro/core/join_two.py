@@ -30,11 +30,12 @@ def similarity_join_two(
     Result pairs carry ``left_id`` from ``left`` and ``right_id`` from
     ``right`` (no ordering constraint between the two id spaces).
 
-    With ``config.workers > 1`` the right collection is sharded into
-    length bands by :mod:`repro.core.parallel`; the pair list is
-    identical either way.
+    With ``config.workers > 1`` or a ``config.checkpoint_dir`` set the
+    right collection is sharded into length bands by
+    :mod:`repro.core.parallel` under the fault-tolerant band executor;
+    the pair list is identical either way.
     """
-    if config.workers > 1:
+    if config.workers > 1 or config.checkpoint_dir is not None:
         from repro.core.parallel import parallel_similarity_join_two
 
         return parallel_similarity_join_two(left, right, config)

@@ -5,10 +5,12 @@ shard-able: a pair ``(R, S)`` can survive the length filter only when
 ``||R| - |S|| <= k``, so disjoint contiguous length ranges — each
 extended by a k-wide *halo* of the next-longer strings — can be joined
 independently and their results concatenated. MinJoin exploits the same
-observation to parallelize edit-similarity joins; here it drives a
-``ProcessPoolExecutor`` over pickle-safe band payloads, with each band
-running the ordinary sequential driver of :mod:`repro.core.join` /
-:mod:`repro.core.join_two`.
+observation to parallelize edit-similarity joins; here each band runs
+the ordinary sequential driver of :mod:`repro.core.join` /
+:mod:`repro.core.join_two` under the fault-tolerant band executor
+(:mod:`repro.core.executor`): one future per band, per-band
+timeout/retries with in-process degradation, and optional atomic
+checkpointing so a killed run resumes instead of restarting.
 
 **Ownership rule** (every pair produced exactly once): a pair belongs to
 the band that owns its *shorter* string, ties broken by the smaller id.
@@ -22,7 +24,9 @@ The merged pair list is *identical* to the serial driver's, including
 reported probabilities: within a band, strings keep their global
 (length, id) visit order, so each pair is refined with the same query /
 candidate orientation — and therefore the same floats — as in the
-serial loop.
+serial loop. Bands are also *deterministic*, which is what makes them
+sound units of retry and resume: re-running a band can only reproduce
+the same pairs.
 
 The R×S join shards the same way over the indexed (right) collection;
 there each pair has exactly one right string, so band ownership of the
@@ -31,17 +35,23 @@ right string makes pairs unique without a discard step.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+import hashlib
 from dataclasses import dataclass, replace
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.core.config import JoinConfig
+from repro.core.executor import (
+    CheckpointStore,
+    RetryPolicy,
+    run_bands,
+)
 from repro.core.join import similarity_join
 from repro.core.join_two import similarity_join_two
 from repro.core.results import JoinOutcome, JoinPair
 from repro.core.stats import JoinStatistics
+from repro.uncertain.parser import format_uncertain
 from repro.uncertain.string import UncertainString
+from repro.util.faults import FaultPlan
 
 #: Below this many strings the banding and process-spawn overhead cannot
 #: pay for itself; the drivers fall back to the serial path. Tests and
@@ -170,27 +180,79 @@ def _two_join_band(
     return band_index, pairs, outcome.stats
 
 
-def _run_tasks(
-    task: Callable[..., tuple[int, list[JoinPair], JoinStatistics]],
-    payloads: list,
-    workers: int,
-    use_processes: bool,
-) -> list[tuple[int, list[JoinPair], JoinStatistics]]:
-    """Execute band payloads, by process pool or in-process.
+# ----------------------------------------------------------------------
+# resilience wiring
+# ----------------------------------------------------------------------
 
-    Falls back to the in-process path when the platform refuses to spawn
-    worker processes (sandboxes without fork, broken pools); results are
-    identical either way, only wall clock differs.
+
+def _join_fingerprint(
+    kind: str,
+    config: JoinConfig,
+    bands: Sequence[LengthBand],
+    *collections: Sequence[UncertainString],
+) -> str:
+    """Digest identifying one join run for checkpoint compatibility.
+
+    Covers the input collections (exact distributions), every
+    result-affecting config knob, and the band plan — resuming with a
+    different ``--workers`` (hence a different plan) must be rejected.
+    Runtime-only knobs (retries, timeouts, fault injection) are
+    deliberately excluded: they cannot change the output.
     """
-    if use_processes and len(payloads) > 1:
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(payloads))
-            ) as pool:
-                return list(pool.map(task, payloads))
-        except (BrokenProcessPool, OSError, PermissionError):
-            pass
-    return [task(payload) for payload in payloads]
+    digest = hashlib.sha256()
+    digest.update(kind.encode("utf-8"))
+    knobs = (
+        config.k,
+        config.tau,
+        config.q,
+        config.filters,
+        config.verification,
+        config.selection,
+        config.group_mode,
+        config.bound_mode,
+        config.report_probabilities,
+        config.early_stop_verification,
+    )
+    digest.update(repr(knobs).encode("utf-8"))
+    plan = [(band.low, band.high, band.member_ids) for band in bands]
+    digest.update(repr(plan).encode("utf-8"))
+    for collection in collections:
+        for string in collection:
+            digest.update(format_uncertain(string, precision=17).encode("utf-8"))
+            digest.update(b"\n")
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def _resilience(
+    config: JoinConfig,
+    policy: RetryPolicy | None,
+    faults: FaultPlan | None,
+    run_dir: "str | None",
+) -> tuple[RetryPolicy, FaultPlan, "str | None"]:
+    """Resolve executor knobs: explicit arguments win over config fields."""
+    if policy is None:
+        policy = RetryPolicy(
+            retries=config.retries, timeout=config.band_timeout
+        )
+    if faults is None:
+        faults = FaultPlan.from_spec(config.fault_spec)
+    if run_dir is None:
+        run_dir = config.checkpoint_dir
+    return policy, faults, run_dir
+
+
+def _open_checkpoint(
+    run_dir: "str | None", fingerprint_args: tuple, bands: Sequence[LengthBand]
+) -> CheckpointStore | None:
+    if run_dir is None:
+        return None
+    kind, config, collections = fingerprint_args
+    store = CheckpointStore(run_dir)
+    store.open(
+        _join_fingerprint(kind, config, bands, *collections), len(bands)
+    )
+    return store
 
 
 # ----------------------------------------------------------------------
@@ -203,43 +265,79 @@ def parallel_similarity_join(
     config: JoinConfig,
     use_processes: bool = True,
     min_parallel: int = MIN_PARALLEL_STRINGS,
+    *,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    run_dir: str | None = None,
 ) -> JoinOutcome:
-    """Length-banded parallel self-join.
+    """Length-banded parallel self-join under the fault-tolerant executor.
 
     Shards the collection into ``config.workers`` contiguous length
     bands plus k-wide halos, joins each band with the serial driver, and
     deterministically merges pairs and statistics. The pair list —
     including probabilities — is identical to
-    :func:`repro.core.join.similarity_join` on every input.
+    :func:`repro.core.join.similarity_join` on every input, with or
+    without injected faults, retries, or a resumed checkpoint.
+
+    ``policy``/``faults``/``run_dir`` override the corresponding
+    ``config`` fields (``retries``/``band_timeout``, ``fault_spec``,
+    ``checkpoint_dir``). With a run directory, completed bands are
+    atomically persisted there and a re-run over the same inputs loads
+    them instead of recomputing (the serial fast paths are skipped so
+    every run of a checkpointed join goes through the bands).
 
     ``use_processes=False`` runs the band tasks in-process (same sharded
-    code path, no pool); inputs smaller than ``min_parallel`` or yielding
-    a single band take the serial driver directly.
+    code path, retry/fault semantics, and results; no pool); inputs
+    smaller than ``min_parallel`` or yielding a single band take the
+    serial driver directly unless checkpointing is on.
     """
-    serial_config = replace(config, workers=1)
-    if config.workers <= 1 or len(collection) < min_parallel:
+    serial_config = replace(
+        config, workers=1, checkpoint_dir=None, fault_spec=None
+    )
+    policy, faults, run_dir = _resilience(config, policy, faults, run_dir)
+    checkpointing = run_dir is not None
+    if not checkpointing and (
+        config.workers <= 1 or len(collection) < min_parallel
+    ):
         return similarity_join(collection, serial_config)
     lengths = [len(string) for string in collection]
     bands = plan_length_bands(lengths, config.workers, config.k)
-    if len(bands) <= 1:
+    if len(bands) <= 1 and not checkpointing:
+        return similarity_join(collection, serial_config)
+    if not bands:
         return similarity_join(collection, serial_config)
 
+    checkpoint = _open_checkpoint(
+        run_dir, ("self", config, (collection,)), bands
+    )
     stats = JoinStatistics(total_strings=len(collection))
     total_timer = stats.timer("total").start()
     payloads = [
         (
             band.index,
-            band.member_ids,
-            [collection[string_id] for string_id in band.member_ids],
-            band.high,
-            serial_config,
+            (
+                band.index,
+                band.member_ids,
+                [collection[string_id] for string_id in band.member_ids],
+                band.high,
+                serial_config,
+            ),
         )
         for band in bands
     ]
-    results = _run_tasks(_self_join_band, payloads, config.workers, use_processes)
+    results = run_bands(
+        _self_join_band,
+        payloads,
+        workers=config.workers,
+        use_processes=use_processes,
+        policy=policy,
+        stats=stats,
+        faults=faults,
+        checkpoint=checkpoint,
+    )
 
     pairs: list[JoinPair] = []
-    for _, band_pairs, band_stats in sorted(results, key=lambda item: item[0]):
+    for _, band_pairs, band_stats in results:
         pairs.extend(band_pairs)
         # Aggregate band CPU time under its own stage; wall clock is ours.
         stats.timer("bands").add(band_stats.seconds("total"))
@@ -256,24 +354,40 @@ def parallel_similarity_join_two(
     config: JoinConfig,
     use_processes: bool = True,
     min_parallel: int = MIN_PARALLEL_STRINGS,
+    *,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    run_dir: str | None = None,
 ) -> JoinOutcome:
-    """Length-banded parallel R×S join.
+    """Length-banded parallel R×S join under the fault-tolerant executor.
 
     The right (indexed) collection is sharded into contiguous length
     bands; each task indexes one band and probes it with the left
     strings whose length is within ``k`` of the band's owned range.
     Every right string lives in exactly one band, so each pair is
     produced exactly once and the merged, sorted pair list is identical
-    to :func:`repro.core.join_two.similarity_join_two`.
+    to :func:`repro.core.join_two.similarity_join_two`. Resilience
+    knobs behave exactly as in :func:`parallel_similarity_join`.
     """
-    serial_config = replace(config, workers=1)
-    if config.workers <= 1 or len(left) + len(right) < min_parallel or not left:
+    serial_config = replace(
+        config, workers=1, checkpoint_dir=None, fault_spec=None
+    )
+    policy, faults, run_dir = _resilience(config, policy, faults, run_dir)
+    checkpointing = run_dir is not None
+    if not checkpointing and (
+        config.workers <= 1 or len(left) + len(right) < min_parallel
+    ):
+        return similarity_join_two(left, right, serial_config)
+    if not left or not right:
         return similarity_join_two(left, right, serial_config)
     right_lengths = [len(string) for string in right]
     bands = plan_length_bands(right_lengths, config.workers, 0)
-    if len(bands) <= 1:
+    if len(bands) <= 1 and not checkpointing:
         return similarity_join_two(left, right, serial_config)
 
+    checkpoint = _open_checkpoint(
+        run_dir, ("two", config, (left, right)), bands
+    )
     stats = JoinStatistics(total_strings=len(left) + len(right))
     total_timer = stats.timer("total").start()
     payloads = []
@@ -286,17 +400,29 @@ def parallel_similarity_join_two(
         payloads.append(
             (
                 band.index,
-                eligible_left,
-                [left[left_id] for left_id in eligible_left],
-                band.member_ids,
-                [right[right_id] for right_id in band.member_ids],
-                serial_config,
+                (
+                    band.index,
+                    eligible_left,
+                    [left[left_id] for left_id in eligible_left],
+                    band.member_ids,
+                    [right[right_id] for right_id in band.member_ids],
+                    serial_config,
+                ),
             )
         )
-    results = _run_tasks(_two_join_band, payloads, config.workers, use_processes)
+    results = run_bands(
+        _two_join_band,
+        payloads,
+        workers=config.workers,
+        use_processes=use_processes,
+        policy=policy,
+        stats=stats,
+        faults=faults,
+        checkpoint=checkpoint,
+    )
 
     pairs: list[JoinPair] = []
-    for _, band_pairs, band_stats in sorted(results, key=lambda item: item[0]):
+    for _, band_pairs, band_stats in results:
         pairs.extend(band_pairs)
         stats.timer("bands").add(band_stats.seconds("total"))
         stats.merge(band_stats)

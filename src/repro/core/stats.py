@@ -70,7 +70,10 @@ class JoinStatistics:
     timers: dict[str, Stopwatch] = field(default_factory=dict)
     #: stage-name-keyed counters (``"stage.event"``) for events with no
     #: dedicated legacy field — e.g. ``"bound.rejected"`` from the
-    #: plumbed Theorem 2 upper bound. Written through :meth:`record`.
+    #: plumbed Theorem 2 upper bound, or the fault-tolerant executor's
+    #: ``fault.retried`` / ``fault.degraded`` / ``fault.timeout`` (plus
+    #: ``fault.crashed``, ``fault.corrupt``, ``fault.resumed``,
+    #: ``fault.pool_unavailable``). Written through :meth:`record`.
     stage_counters: dict[str, int] = field(default_factory=dict)
 
     def record(self, stage: str, event: str, amount: int = 1) -> None:
@@ -96,6 +99,19 @@ class JoinStatistics:
             count: int = getattr(self, name)
             return count
         return self.stage_counters.get(f"{stage}.{event}", 0)
+
+    def fault_counts(self) -> dict[str, int]:
+        """The executor's ``fault.*`` counters (empty for a clean run).
+
+        Keys are the full ``"fault.<event>"`` stage-counter names,
+        sorted; a run with no worker crashes, timeouts, retries, or
+        resumed checkpoints returns ``{}``.
+        """
+        return {
+            key: count
+            for key, count in sorted(self.stage_counters.items())
+            if key.startswith("fault.")
+        }
 
     def timer(self, stage: str) -> Stopwatch:
         """The (created-on-demand) stopwatch for ``stage``."""

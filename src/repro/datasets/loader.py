@@ -3,15 +3,47 @@
 One string per line in the :mod:`repro.uncertain.parser` notation; blank
 lines and ``#`` comments are skipped. This keeps generated benchmark
 datasets inspectable with a text editor.
+
+Malformed records surface as
+:class:`~repro.core.errors.DatasetRecordError` carrying the file path,
+the 1-based record (line) number, and the parser column — and the
+``on_error`` policy decides whether one bad record aborts the load
+(``"raise"``, the default), is dropped (``"skip"``), or is collected
+into a report alongside the good records (``"collect"``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Literal, Sequence, overload
 
-from repro.uncertain.parser import format_uncertain, parse_uncertain
+from repro.core.errors import ConfigurationError, DatasetRecordError
+from repro.uncertain.parser import (
+    UncertainStringSyntaxError,
+    format_uncertain,
+    parse_uncertain,
+)
 from repro.uncertain.string import UncertainString
+
+OnError = Literal["raise", "skip", "collect"]
+_ON_ERROR_MODES = ("raise", "skip", "collect")
+
+
+@dataclass
+class LoadReport:
+    """What ``load_collection(..., on_error="collect")`` returns.
+
+    ``strings`` holds every record that parsed; ``errors`` holds one
+    :class:`DatasetRecordError` per malformed record, in file order,
+    each carrying the path, record number, and parser column.
+    """
+
+    strings: list[UncertainString] = field(default_factory=list)
+    errors: list[DatasetRecordError] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.strings)
 
 
 def save_collection(
@@ -25,14 +57,56 @@ def save_collection(
             handle.write("\n")
 
 
-def load_collection(path: str | Path) -> list[UncertainString]:
-    """Read a collection saved by :func:`save_collection`."""
+@overload
+def load_collection(
+    path: str | Path, on_error: Literal["raise", "skip"] = "raise"
+) -> list[UncertainString]: ...
+
+
+@overload
+def load_collection(
+    path: str | Path, on_error: Literal["collect"]
+) -> LoadReport: ...
+
+
+def load_collection(
+    path: str | Path, on_error: OnError = "raise"
+) -> "list[UncertainString] | LoadReport":
+    """Read a collection saved by :func:`save_collection`.
+
+    ``on_error`` selects the malformed-record policy:
+
+    ``"raise"`` (default)
+        The first bad record aborts the load with a
+        :class:`DatasetRecordError` (file, record number, parser
+        column; the parser error is chained as ``__cause__``).
+    ``"skip"``
+        Bad records are dropped; the parsed strings are returned.
+    ``"collect"``
+        Returns a :class:`LoadReport` with both the parsed strings and
+        one :class:`DatasetRecordError` per bad record.
+    """
+    if on_error not in _ON_ERROR_MODES:
+        raise ConfigurationError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+        )
     source = Path(path)
-    collection: list[UncertainString] = []
+    strings: list[UncertainString] = []
+    errors: list[DatasetRecordError] = []
     with source.open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for record_number, line in enumerate(handle, start=1):
             line = line.rstrip("\n")
             if not line or line.startswith("#"):
                 continue
-            collection.append(parse_uncertain(line))
-    return collection
+            try:
+                strings.append(parse_uncertain(line))
+            except UncertainStringSyntaxError as exc:
+                error = DatasetRecordError(
+                    str(source), record_number, exc.index, str(exc)
+                )
+                if on_error == "raise":
+                    raise error from exc
+                errors.append(error)
+    if on_error == "collect":
+        return LoadReport(strings=strings, errors=errors)
+    return strings

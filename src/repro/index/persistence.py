@@ -3,7 +3,12 @@
 A search service should not rebuild its index on every restart
 (instantiating every segment of every string is the expensive part of
 index construction). The on-disk format is a single JSON document —
-portable, diffable, and forward-checked by a format version.
+portable, diffable, and guarded by a magic string plus a format
+version. Writes are crash-atomic (tmp file + rename), and any
+unreadable, truncated, or mis-headed file surfaces as
+:class:`~repro.core.errors.CheckpointCorruptError` naming the offending
+path — never as a raw ``JSONDecodeError``/``KeyError`` leaking from the
+decoder.
 """
 
 from __future__ import annotations
@@ -11,19 +16,27 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.core.errors import CheckpointCorruptError
 from repro.index.inverted import SegmentInvertedIndex
 
+#: Identifies the file type independently of its version.
+INDEX_MAGIC = "repro-segment-index"
 #: Bump when the on-disk layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 def save_index(index: SegmentInvertedIndex, path: str | Path) -> None:
-    """Serialize ``index`` (postings and configuration) to ``path``."""
+    """Serialize ``index`` (postings and configuration) to ``path``.
+
+    The write goes through a tmp file and an atomic rename, so a crash
+    mid-save never leaves a half-written index behind.
+    """
     lists = {
         f"{length}:{segment}": postings
         for (length, segment), postings in index._lists.items()
     }
     document = {
+        "magic": INDEX_MAGIC,
         "format": FORMAT_VERSION,
         "k": index.k,
         "q": index.q,
@@ -36,37 +49,79 @@ def save_index(index: SegmentInvertedIndex, path: str | Path) -> None:
         },
         "lists": lists,
     }
-    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(document), encoding="utf-8")
+    tmp.replace(target)
 
 
 def load_index(path: str | Path) -> SegmentInvertedIndex:
-    """Reconstruct an index saved by :func:`save_index`."""
-    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Reconstruct an index saved by :func:`save_index`.
+
+    Raises :class:`CheckpointCorruptError` (carrying ``path``) for
+    anything that is not a well-formed current-version index document:
+    invalid JSON, truncated files, wrong magic, unsupported versions,
+    or structurally malformed postings. A missing file still raises
+    ``FileNotFoundError``.
+    """
+    source = Path(path)
+    try:
+        text = source.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise
+    except UnicodeDecodeError as exc:
+        raise CheckpointCorruptError(
+            str(source), f"not a UTF-8 index file: {exc}"
+        ) from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruptError(
+            str(source), f"invalid or truncated JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise CheckpointCorruptError(
+            str(source), "index document is not a JSON object"
+        )
+    magic = document.get("magic")
+    if magic != INDEX_MAGIC:
+        raise CheckpointCorruptError(
+            str(source),
+            f"bad magic {magic!r} (expected {INDEX_MAGIC!r}); "
+            "not a segment-index file",
+        )
     version = document.get("format")
     if version != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported index format {version!r} (expected {FORMAT_VERSION})"
+        raise CheckpointCorruptError(
+            str(source),
+            f"unsupported index format {version!r} "
+            f"(expected {FORMAT_VERSION})",
         )
-    index = SegmentInvertedIndex(
-        k=document["k"],
-        q=document["q"],
-        selection=document["selection"],
-        group_mode=document["group_mode"],
-        bound_mode=document["bound_mode"],
-    )
-    entry_count = 0
-    for key, postings in document["lists"].items():
-        length_text, _, segment_text = key.partition(":")
-        lists = index._lists.setdefault(
-            (int(length_text), int(segment_text)), {}
+    try:
+        index = SegmentInvertedIndex(
+            k=document["k"],
+            q=document["q"],
+            selection=document["selection"],
+            group_mode=document["group_mode"],
+            bound_mode=document["bound_mode"],
         )
-        for word, entries in postings.items():
-            lists[word] = [(int(i), float(p)) for i, p in entries]
-            entry_count += len(entries)
-    for length_text, ids in document["ids_by_length"].items():
-        length = int(length_text)
-        index._ids_by_length[length] = list(ids)
-        index._indexed_lengths.add(length)
-    index._entry_count = entry_count
-    index._last_id = document["last_id"]
+        entry_count = 0
+        for key, postings in document["lists"].items():
+            length_text, _, segment_text = key.partition(":")
+            lists = index._lists.setdefault(
+                (int(length_text), int(segment_text)), {}
+            )
+            for word, entries in postings.items():
+                lists[word] = [(int(i), float(p)) for i, p in entries]
+                entry_count += len(entries)
+        for length_text, ids in document["ids_by_length"].items():
+            length = int(length_text)
+            index._ids_by_length[length] = list(ids)
+            index._indexed_lengths.add(length)
+        index._entry_count = entry_count
+        index._last_id = document["last_id"]
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise CheckpointCorruptError(
+            str(source), f"malformed index document: {exc!r}"
+        ) from exc
     return index

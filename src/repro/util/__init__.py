@@ -6,6 +6,7 @@ from repro.util.validation import (
     check_probability,
     check_type,
 )
+from repro.util.faults import FaultPlan, FaultSpec, InjectedCrashError
 from repro.util.rng import ensure_rng
 from repro.util.timing import Stopwatch
 
@@ -15,5 +16,8 @@ __all__ = [
     "check_probability",
     "check_type",
     "ensure_rng",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrashError",
     "Stopwatch",
 ]

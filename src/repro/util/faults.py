@@ -1,0 +1,161 @@
+"""Deterministic, config-driven fault injection for the band executor.
+
+A :class:`FaultPlan` schedules faults against specific *(band, attempt)*
+coordinates, so a test or benchmark can say "the first two attempts of
+band 2 crash" and get exactly that, independent of scheduling, worker
+count, or process reuse. The executor consults the plan once per band
+call; an attempt not covered by any spec runs normally.
+
+Four fault kinds:
+
+``crash``
+    Raise :class:`InjectedCrashError` from inside the band call — the
+    failure mode of a bug in band code.
+``abort``
+    ``os._exit`` the executing process — the failure mode of a worker
+    killed by the OS (OOM, segfault); in a process pool this breaks the
+    pool (``BrokenProcessPool``). Never use in-process: it terminates
+    the caller.
+``hang``
+    Sleep ``seconds`` before running the band — the failure mode of a
+    stuck worker; with a per-band timeout configured the deadline fires
+    first.
+``corrupt``
+    Make the band call return garbage instead of a band result — the
+    failure mode of silent data corruption in transit.
+
+The textual spec format (CLI ``--inject-faults``, config
+``fault_spec``) is a comma-separated list of ``KIND@BAND`` entries with
+optional ``xTIMES`` (how many attempts fault, starting from the first;
+default 1) and ``/SECONDS`` (hang duration, default 3600)::
+
+    crash@2            # band 2, first attempt raises
+    crash@2x3          # band 2, attempts 0-2 raise
+    hang@0x2/1.5       # band 0, attempts 0-1 sleep 1.5s
+    corrupt@1,crash@3  # two faults, two bands
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from dataclasses import dataclass
+
+KINDS = ("crash", "abort", "hang", "corrupt")
+
+_SPEC_PATTERN = re.compile(
+    r"^(?P<kind>[a-z]+)@(?P<band>\d+)"
+    r"(?:x(?P<times>\d+))?"
+    r"(?:/(?P<seconds>\d+(?:\.\d+)?))?$"
+)
+
+
+class InjectedCrashError(RuntimeError):
+    """The failure raised by a scheduled ``crash`` fault."""
+
+    def __init__(self, band: int, attempt: int) -> None:
+        super().__init__(f"injected crash: band {band}, attempt {attempt}")
+        self.band = band
+        self.attempt = attempt
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["InjectedCrashError"], tuple[int, int]]:
+        return type(self), (self.band, self.attempt)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: ``kind`` hits ``band`` on attempts ``< times``."""
+
+    kind: str
+    band: int
+    times: int = 1
+    seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {KINDS}"
+            )
+        if self.band < 0:
+            raise ValueError(f"band must be non-negative, got {self.band}")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.seconds <= 0:
+            raise ValueError(f"seconds must be positive, got {self.seconds}")
+
+    def matches(self, band: int, attempt: int) -> bool:
+        """Whether this spec fires for ``band`` on 0-based ``attempt``."""
+        return band == self.band and 0 <= attempt < self.times
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec`s.
+
+    Picklable by construction, so it travels into pool workers with the
+    band payload and the *worker* decides whether to fault — no shared
+    state, no race with retries landing on reused processes.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def from_spec(cls, text: str | None) -> "FaultPlan":
+        """Parse the ``KIND@BAND[xTIMES][/SECONDS]`` comma list.
+
+        ``None`` or an empty/whitespace string yields an empty plan.
+        """
+        if text is None or not text.strip():
+            return cls()
+        specs: list[FaultSpec] = []
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            match = _SPEC_PATTERN.match(entry)
+            if match is None:
+                raise ValueError(
+                    f"bad fault spec {entry!r}; expected "
+                    "KIND@BAND[xTIMES][/SECONDS], e.g. 'crash@2x3' or "
+                    "'hang@0/1.5'"
+                )
+            specs.append(
+                FaultSpec(
+                    kind=match["kind"],
+                    band=int(match["band"]),
+                    times=int(match["times"]) if match["times"] else 1,
+                    seconds=float(match["seconds"])
+                    if match["seconds"]
+                    else 3600.0,
+                )
+            )
+        return cls(tuple(specs))
+
+    def fault_for(self, band: int, attempt: int) -> FaultSpec | None:
+        """The first spec that fires for ``(band, attempt)``, if any."""
+        for spec in self.specs:
+            if spec.matches(band, attempt):
+                return spec
+        return None
+
+
+def inject(spec: FaultSpec, attempt: int) -> None:
+    """Execute a scheduled fault at its injection site.
+
+    ``crash`` raises, ``abort`` kills the current process, ``hang``
+    sleeps (then returns — a hang is a delay, the band still runs);
+    ``corrupt`` is a no-op here because the *caller* must fabricate the
+    garbage return value.
+    """
+    if spec.kind == "crash":
+        raise InjectedCrashError(spec.band, attempt)
+    if spec.kind == "abort":
+        os._exit(70)
+    if spec.kind == "hang":
+        time.sleep(spec.seconds)

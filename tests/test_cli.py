@@ -83,6 +83,43 @@ class TestJoin:
         assert "result pairs" in captured.err
 
 
+class TestResilience:
+    def test_resume_round_trip_identical_output(
+        self, collection_file, tmp_path, capsys
+    ):
+        run_dir = tmp_path / "run"
+        base = ["join", str(collection_file), "-k", "1", "--tau", "0.2",
+                "--probabilities"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        # First checkpointed run: same output, run directory created.
+        assert main(base + ["--resume", str(run_dir)]) == 0
+        assert capsys.readouterr().out == plain
+        assert (run_dir / "run.json").exists()
+        assert list(run_dir.glob("band-*.ckpt"))
+        # Second run resumes from the checkpoints, byte-identical.
+        assert main(base + ["--resume", str(run_dir), "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert "fault.resumed" in captured.err
+
+    def test_injected_faults_do_not_change_output(
+        self, collection_file, tmp_path, capsys
+    ):
+        base = ["join", str(collection_file), "-k", "1", "--tau", "0.2"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            base + ["--resume", str(tmp_path / "faulted"),
+                    "--inject-faults", "crash@0", "--retries", "1",
+                    "--stats"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert "fault.crashed" in captured.err
+        assert "fault.retried" in captured.err
+
+
 class TestTopK:
     def test_outputs_requested_count_with_probabilities(
         self, collection_file, capsys

@@ -4,7 +4,8 @@ import random
 
 import pytest
 
-from repro.datasets.loader import load_collection, save_collection
+from repro.core.errors import ConfigurationError, DatasetRecordError
+from repro.datasets.loader import LoadReport, load_collection, save_collection
 from repro.datasets.names import LENGTH_RANGE as NAME_RANGE, generate_author_names
 from repro.datasets.presets import dblp_like_collection, protein_like_collection
 from repro.datasets.protein import (
@@ -138,3 +139,48 @@ class TestLoader:
         path.write_text("# header\n\nACGT\n")
         loaded = load_collection(path)
         assert len(loaded) == 1
+
+
+class TestLoaderOnError:
+    @pytest.fixture
+    def mixed_file(self, tmp_path):
+        # Records 2 and 4 are malformed (unterminated block, probability
+        # leak); 1, 3, and 5 parse.
+        path = tmp_path / "mixed.txt"
+        path.write_text(
+            "ACGT\n"
+            "A{(C,0.5)\n"
+            "A{(C,0.5),(G,0.5)}T\n"
+            "A{(C,0.9),(G,0.9)}\n"
+            "GGTA\n"
+        )
+        return path
+
+    def test_raise_is_the_default_and_aborts_on_first(self, mixed_file):
+        with pytest.raises(DatasetRecordError) as excinfo:
+            load_collection(mixed_file)
+        assert excinfo.value.record == 2
+
+    def test_skip_drops_bad_records(self, mixed_file):
+        loaded = load_collection(mixed_file, on_error="skip")
+        assert len(loaded) == 3
+
+    def test_collect_returns_strings_and_errors(self, mixed_file):
+        report = load_collection(mixed_file, on_error="collect")
+        assert isinstance(report, LoadReport)
+        assert len(report) == 3
+        assert [error.record for error in report.errors] == [2, 4]
+        for error in report.errors:
+            assert error.path == str(mixed_file)
+            assert isinstance(error.column, int)
+
+    def test_collect_on_clean_file_has_no_errors(self, tmp_path):
+        path = tmp_path / "clean.txt"
+        save_collection(dblp_like_collection(5, rng=1), path)
+        report = load_collection(path, on_error="collect")
+        assert len(report) == 5
+        assert report.errors == []
+
+    def test_unknown_mode_rejected(self, mixed_file):
+        with pytest.raises(ConfigurationError):
+            load_collection(mixed_file, on_error="ignore")

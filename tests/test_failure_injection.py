@@ -9,6 +9,7 @@ import math
 import pytest
 
 from repro.core.config import JoinConfig
+from repro.core.errors import DatasetRecordError, ReproError
 from repro.core.join import similarity_join
 from repro.datasets.loader import load_collection
 from repro.filters.frequency import poisson_binomial_pmf
@@ -47,17 +48,22 @@ class TestBadFiles:
         with pytest.raises(FileNotFoundError):
             load_collection(tmp_path / "nope.txt")
 
-    def test_corrupt_line_reports_offset(self, tmp_path):
+    def test_corrupt_line_reports_file_record_and_column(self, tmp_path):
         path = tmp_path / "bad.txt"
         path.write_text("ACGT\nA{(C,0.5)\n")
-        with pytest.raises(UncertainStringSyntaxError) as excinfo:
+        with pytest.raises(DatasetRecordError) as excinfo:
             load_collection(path)
-        assert "offset" in str(excinfo.value)
+        error = excinfo.value
+        assert error.path == str(path)
+        assert error.record == 2
+        assert error.column == 1  # the unterminated '{'
+        assert "offset" in str(error)
+        assert isinstance(error.__cause__, UncertainStringSyntaxError)
 
     def test_probability_overflow_line(self, tmp_path):
         path = tmp_path / "bad.txt"
         path.write_text("A{(C,0.9),(G,0.9)}\n")
-        with pytest.raises(UncertainStringSyntaxError):
+        with pytest.raises(DatasetRecordError):
             load_collection(path)
 
 
@@ -93,3 +99,9 @@ class TestUtilityContracts:
         assert issubclass(UncertainStringSyntaxError, ValueError)
         with pytest.raises(ValueError):
             parse_uncertain("{(")
+
+    def test_dataset_record_error_is_value_error_and_repro_error(self):
+        # The taxonomy keeps the historical ValueError contract: a
+        # caller catching either base sees malformed-record failures.
+        assert issubclass(DatasetRecordError, ValueError)
+        assert issubclass(DatasetRecordError, ReproError)

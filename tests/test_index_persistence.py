@@ -5,8 +5,9 @@ import random
 
 import pytest
 
+from repro.core.errors import CheckpointCorruptError
 from repro.index.inverted import SegmentInvertedIndex
-from repro.index.persistence import load_index, save_index
+from repro.index.persistence import FORMAT_VERSION, INDEX_MAGIC, load_index, save_index
 from repro.uncertain.string import UncertainString
 
 from tests.helpers import random_collection
@@ -63,8 +64,47 @@ class TestRoundTrip:
 class TestFormatGuards:
     def test_wrong_version_rejected(self, tmp_path):
         path = tmp_path / "index.json"
-        path.write_text(json.dumps({"format": 999}))
-        with pytest.raises(ValueError, match="unsupported index format"):
+        path.write_text(json.dumps({"magic": INDEX_MAGIC, "format": 999}))
+        with pytest.raises(CheckpointCorruptError, match="unsupported index format"):
+            load_index(path)
+
+    def test_missing_magic_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text(json.dumps({"format": FORMAT_VERSION}))
+        with pytest.raises(CheckpointCorruptError, match="bad magic"):
+            load_index(path)
+
+    def test_invalid_json_rejected_with_path(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text("{ not json at all")
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            load_index(path)
+        assert excinfo.value.path == str(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        index = build([UncertainString.from_text("ACGT")])
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointCorruptError):
+            load_index(path)
+
+    def test_non_object_document_rejected(self, tmp_path):
+        path = tmp_path / "index.json"
+        path.write_text(json.dumps(["not", "an", "object"]))
+        with pytest.raises(CheckpointCorruptError, match="not a JSON object"):
+            load_index(path)
+
+    def test_malformed_postings_rejected(self, tmp_path):
+        index = build([UncertainString.from_text("ACGT")])
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["lists"] = {"4:0": {"AC": "garbage"}}
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointCorruptError, match="malformed index document"):
             load_index(path)
 
     def test_missing_file(self, tmp_path):
