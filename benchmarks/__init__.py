@@ -1,0 +1,6 @@
+"""Benchmark suite: paper figures (pytest-benchmark) + the JSON runner.
+
+``python -m benchmarks.run`` executes the hot-kernel micro-benchmarks
+and the end-to-end join benchmark behind the committed ``BENCH_*.json``
+trajectory files; see :mod:`repro.report.bench` for the shared registry.
+"""

@@ -1,0 +1,27 @@
+"""``python -m benchmarks.run`` — the benchmark-trajectory runner.
+
+Thin wrapper over :mod:`repro.report.bench` (also exposed as the
+``repro-join bench`` CLI subcommand) so the committed ``BENCH_*.json``
+files are reproducible locally::
+
+    PYTHONPATH=src python -m benchmarks.run --output BENCH_5.json
+    PYTHONPATH=src python -m benchmarks.run --quick --check BENCH_5.json
+
+The second form is the CI regression gate: it fails when any kernel or
+join regresses by more than the tolerance against the committed file.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without an installed package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.report.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,70 +1,43 @@
 """Micro-benchmarks of the hot kernels under the join.
 
-Not a paper figure — these quantify the building blocks (banded vs. full
-edit distance, trie construction, CDF DP, frequency profiles) so
-regressions in the substrates are visible independently of the join.
+Not a paper figure — these quantify the building blocks so regressions
+in the substrates are visible independently of the join. The cases come
+from the shared registry in :mod:`repro.report.bench` (:data:`KERNELS`),
+the same definitions the JSON runner (``python -m benchmarks.run``) and
+the CI regression gate measure — one registry, three consumers. A
+couple of context-only cases (full edit distance, trie build) that the
+gate does not track are kept locally.
 """
 
 import random
 
 import pytest
 
-from repro.distance.edit import edit_distance, edit_distance_banded
-from repro.filters.cdf import cdf_bounds
-from repro.filters.frequency import FrequencyProfile
+from repro.distance.edit import edit_distance
+from repro.report.bench import KERNELS
 from repro.verify.trie import build_trie
-from repro.verify.trie_verify import trie_verify
 
 from benchmarks.conftest import dblp
 
 EXPERIMENT = "micro_kernels"
 
-_WORDS = None
 
-
-def words():
-    global _WORDS
-    if _WORDS is None:
-        rng = random.Random(0)
-        _WORDS = [
-            "".join(rng.choice("abcdefgh") for _ in range(40)) for _ in range(60)
-        ]
-    return _WORDS
+@pytest.mark.parametrize("case", KERNELS, ids=lambda case: case.name)
+def test_kernel(case, benchmark):
+    fn, _ops = case.setup()
+    benchmark(fn)
 
 
 def test_full_edit_distance(benchmark):
-    ws = words()
-    benchmark(lambda: [edit_distance(a, b) for a in ws[:10] for b in ws[10:20]])
-
-
-def test_banded_edit_distance_k2(benchmark):
-    ws = words()
+    rng = random.Random(0)
+    words = [
+        "".join(rng.choice("abcdefgh") for _ in range(40)) for _ in range(20)
+    ]
     benchmark(
-        lambda: [edit_distance_banded(a, b, 2) for a in ws[:10] for b in ws[10:20]]
+        lambda: [edit_distance(a, b) for a in words[:10] for b in words[10:]]
     )
 
 
 def test_trie_build(benchmark):
     collection = dblp(50)
     benchmark(lambda: [build_trie(s) for s in collection])
-
-
-def test_trie_verify_pair(benchmark):
-    collection = [s for s in dblp(80) if not s.is_certain]
-    left = collection[0]
-    trie = build_trie(left)
-    right = min(collection[1:], key=lambda s: abs(len(s) - len(left)))
-    benchmark(lambda: trie_verify(left, right, 2, left_trie=trie))
-
-
-def test_cdf_bounds_pair(benchmark):
-    collection = dblp(40)
-    left, right = collection[0], min(
-        collection[1:], key=lambda s: abs(len(s) - len(collection[0]))
-    )
-    benchmark(lambda: cdf_bounds(left, right, 2))
-
-
-def test_frequency_profile_build(benchmark):
-    collection = dblp(60)
-    benchmark(lambda: [FrequencyProfile(s) for s in collection])

@@ -12,6 +12,8 @@ Four subcommands covering the end-to-end workflow on collection files
 * ``repro-join topk`` — the N most probably similar pairs (adaptive
   threshold; no tau needed).
 * ``repro-join verify`` — exact ``Pr(ed <= k)`` for two strings.
+* ``repro-join bench`` — hot-kernel/join benchmark suite (all flags
+  pass through to ``python -m benchmarks.run``).
 
 Examples::
 
@@ -21,6 +23,7 @@ Examples::
     repro-join search names.txt "jon{(a,0.7),(o,0.3)}than smith" -k 2 --tau 0.1
     repro-join topk names.txt -k 2 --count 10
     repro-join verify "banana" "ban{(a,0.7),(e,0.3)}na" -k 1
+    repro-join bench --quick -o bench.json --baseline BENCH_5.json
 """
 
 from __future__ import annotations
@@ -194,6 +197,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.report.bench import main as bench_main
+
+    return bench_main(list(args.bench_args))
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     left = parse_uncertain(args.left)
     right = parse_uncertain(args.right)
@@ -256,6 +265,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_join_options(search)
     search.set_defaults(func=_cmd_search)
 
+    bench = commands.add_parser(
+        "bench",
+        help="run the kernel/join benchmark suite (see benchmarks.run)",
+    )
+    bench.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the benchmark runner "
+        "(-o/--output, --quick, --baseline, --check, --tolerance)",
+    )
+    bench.set_defaults(func=_cmd_bench)
+
     verify = commands.add_parser("verify", help="exact Pr(ed(a, b) <= k)")
     verify.add_argument("left")
     verify.add_argument("right")
@@ -266,7 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["bench"]:
+        # argparse.REMAINDER refuses option-like tokens right after a
+        # subcommand, so forward everything past "bench" ourselves.
+        from repro.report.bench import main as bench_main
+
+        return bench_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
     return args.func(args)
 
 

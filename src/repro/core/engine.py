@@ -29,11 +29,11 @@ from __future__ import annotations
 from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.core.config import JoinConfig
+from repro.core.context import CollectionContext
 from repro.core.errors import ConfigurationError
 from repro.core.pipeline import StageChain, TauProvider
 from repro.core.results import JoinPair, SearchMatch
 from repro.core.stats import JoinStatistics
-from repro.filters.frequency import FrequencyProfile
 from repro.index.inverted import SegmentInvertedIndex
 from repro.uncertain.string import UncertainString
 
@@ -197,9 +197,12 @@ class JoinEngine:
     force_exact:
         Always verify to the exact probability (see
         :class:`~repro.core.pipeline.StageChain`).
-    profile_cache:
-        Shared id → frequency-profile cache, for engines that outlive
-        one run over the same indexed strings.
+    context:
+        Shared :class:`~repro.core.context.CollectionContext` of
+        per-string features (frequency profiles, support alphabets,
+        certainty fast-path data), for engines that outlive one run
+        over the same indexed strings — or parallel band engines
+        reusing the parent process's finished features.
     """
 
     def __init__(
@@ -208,15 +211,13 @@ class JoinEngine:
         stats: JoinStatistics | None = None,
         tau: TauProvider | None = None,
         force_exact: bool = False,
-        profile_cache: dict[int, FrequencyProfile] | None = None,
+        context: CollectionContext | None = None,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else JoinStatistics()
         self.tau: TauProvider = tau if tau is not None else (lambda: config.tau)
         self.source = make_source(config)
-        self.chain = StageChain(
-            config, force_exact=force_exact, profile_cache=profile_cache
-        )
+        self.chain = StageChain(config, force_exact=force_exact, context=context)
         self._strings: dict[int, UncertainString] = {}
 
     def __len__(self) -> int:
@@ -265,13 +266,27 @@ class JoinEngine:
             if similar:
                 yield SearchMatch(candidate_id, probability)
 
-    def join(self, collection: Sequence[UncertainString]) -> Iterator[JoinPair]:
+    def join(
+        self,
+        collection: Sequence[UncertainString],
+        index_length_cap: int | None = None,
+    ) -> Iterator[JoinPair]:
         """Stream the self-join of ``collection`` pair by pair.
 
         Visits strings in ascending (length, id) order — each string is
         probed against the already-added prefix, then added, so no pair
         is enumerated twice. Pairs are yielded as discovered (grouped by
         their later-visited string), not globally sorted.
+
+        ``index_length_cap`` makes strings longer than the cap
+        *probe-only*: they query the index but are never added to it, so
+        no pair between two over-cap strings is ever generated — the
+        banded parallel driver uses this to skip the halo×halo pairs its
+        neighbor band owns (and would otherwise evaluate redundantly).
+        Pairs with at most one over-cap member are produced exactly as
+        without the cap: the visit order is ascending by length, so every
+        under-cap candidate is already indexed when an over-cap string
+        probes.
         """
         order = sorted(
             range(len(collection)), key=lambda i: (len(collection[i]), i)
@@ -286,7 +301,8 @@ class JoinEngine:
                         else (string_id, other_id)
                     )
                     yield JoinPair(left, right, probability)
-            self.add(string_id, current)
+            if index_length_cap is None or len(current) <= index_length_cap:
+                self.add(string_id, current)
 
 
 def iter_join_pairs(

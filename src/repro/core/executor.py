@@ -36,6 +36,7 @@ retry loop, and degradation.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 import signal
 import threading
@@ -402,6 +403,9 @@ def _run_pool_rounds(
     stats: JoinStatistics,
     faults: FaultPlan | None,
     complete: Callable[[int, BandResult], None],
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple[Any, ...] = (),
+    mp_context: Any = None,
 ) -> None:
     """Dispatch bands to a process pool, one submission round per attempt.
 
@@ -421,8 +425,18 @@ def _run_pool_rounds(
             pool: ProcessPoolExecutor | None = None
             futures: list[tuple[Future[Any], int, Any, int]] = []
             try:
+                # Band count and `workers` set the ceiling; the CPU count
+                # clamps it. Extra processes on an oversubscribed host buy
+                # no parallelism for CPU-bound bands — only fork and
+                # scheduling overhead. The band *plan* (and hence results
+                # and checkpoints) is keyed to `workers`, not pool width.
                 pool = ProcessPoolExecutor(
-                    max_workers=min(workers, len(queue))
+                    max_workers=min(
+                        workers, len(queue), os.cpu_count() or 1
+                    ),
+                    mp_context=mp_context,
+                    initializer=initializer,
+                    initargs=initargs,
                 )
                 for band_index, payload, attempt in queue:
                     futures.append(
@@ -502,6 +516,9 @@ def run_bands(
     stats: JoinStatistics | None = None,
     faults: FaultPlan | None = None,
     checkpoint: CheckpointStore | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple[Any, ...] = (),
+    mp_context: Any = None,
 ) -> list[BandResult]:
     """Execute band ``payloads`` fault-tolerantly; results sorted by band.
 
@@ -511,6 +528,13 @@ def run_bands(
     executed (counted as ``fault.resumed``) and every freshly completed
     band is persisted before the next one is awaited, so a killed run
     loses at most the bands still in flight.
+
+    ``initializer``/``initargs``/``mp_context`` are forwarded to every
+    :class:`ProcessPoolExecutor` the pool path builds (including pools
+    rebuilt between retry rounds) — the parallel driver uses them to
+    publish the shared collection state to each worker exactly once.
+    They do not apply to the in-process paths, which see the parent's
+    module globals directly.
 
     Raises :class:`WorkerCrashError` when a band fails its dispatched
     attempts *and* the in-process degraded attempt;
@@ -543,7 +567,16 @@ def run_bands(
 
     if use_processes and workers > 1 and len(pending) > 1:
         _run_pool_rounds(
-            task, pending, workers, policy, stats, faults, complete
+            task,
+            pending,
+            workers,
+            policy,
+            stats,
+            faults,
+            complete,
+            initializer=initializer,
+            initargs=initargs,
+            mp_context=mp_context,
         )
     else:
         for band_index, payload in pending:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.config import JoinConfig
+from repro.core.context import CollectionContext
 from repro.core.engine import JoinEngine
 from repro.core.results import JoinOutcome, JoinPair
 from repro.core.stats import JoinStatistics
@@ -18,7 +19,10 @@ from repro.uncertain.string import UncertainString
 
 
 def similarity_join(
-    collection: Sequence[UncertainString], config: JoinConfig
+    collection: Sequence[UncertainString],
+    config: JoinConfig,
+    context: CollectionContext | None = None,
+    index_length_cap: int | None = None,
 ) -> JoinOutcome:
     """All pairs ``(i, j)`` with ``Pr(ed(S_i, S_j) <= k) > tau``.
 
@@ -32,16 +36,26 @@ def similarity_join(
     (:mod:`repro.core.parallel`) under the fault-tolerant band executor
     (retries, timeouts, checkpoint/resume); the pair list is identical
     either way.
+
+    ``context`` optionally supplies precomputed per-string features
+    (profiles, support alphabets, certainty flags) keyed by position in
+    ``collection`` — the parallel band driver passes each band's slice
+    of the parent's shared :class:`CollectionContext` here.
+
+    ``index_length_cap`` (serial path only) marks strings longer than
+    the cap probe-only — see :meth:`JoinEngine.join`. The band driver
+    caps at its owned length so halo strings pair with owned strings
+    but never with each other.
     """
     if config.workers > 1 or config.checkpoint_dir is not None:
         from repro.core.parallel import parallel_similarity_join
 
         return parallel_similarity_join(collection, config)
     stats = JoinStatistics(total_strings=len(collection))
-    engine = JoinEngine(config, stats=stats)
+    engine = JoinEngine(config, stats=stats, context=context)
     pairs: list[JoinPair] = []
     with stats.timer("total"):
-        pairs.extend(engine.join(collection))
+        pairs.extend(engine.join(collection, index_length_cap=index_length_cap))
     stats.result_pairs = len(pairs)
     pairs.sort()
     return JoinOutcome(pairs=pairs, stats=stats)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.config import JoinConfig
+from repro.core.context import CollectionContext
 from repro.core.results import JoinOutcome, JoinPair
 from repro.core.search import SimilaritySearcher
 from repro.core.stats import JoinStatistics
@@ -24,6 +25,7 @@ def similarity_join_two(
     left: Sequence[UncertainString],
     right: Sequence[UncertainString],
     config: JoinConfig,
+    context: CollectionContext | None = None,
 ) -> JoinOutcome:
     """All cross-collection pairs satisfying (k, τ)-matching.
 
@@ -34,12 +36,18 @@ def similarity_join_two(
     right collection is sharded into length bands by
     :mod:`repro.core.parallel` under the fault-tolerant band executor;
     the pair list is identical either way.
+
+    ``context`` optionally supplies precomputed per-string features for
+    the indexed (right) collection, keyed by position in ``right`` —
+    the parallel band driver passes each band's slice of the parent's
+    shared :class:`CollectionContext` here. Left strings probe as
+    transient queries, so their features stay probe-local.
     """
     if config.workers > 1 or config.checkpoint_dir is not None:
         from repro.core.parallel import parallel_similarity_join_two
 
         return parallel_similarity_join_two(left, right, config)
-    searcher = SimilaritySearcher(right, config)
+    searcher = SimilaritySearcher(right, config, context=context)
     totals = JoinStatistics(total_strings=len(left) + len(right))
     pairs: list[JoinPair] = []
     with totals.timer("total"):

@@ -36,10 +36,13 @@ right string makes pairs unique without a discard step.
 from __future__ import annotations
 
 import hashlib
+import itertools
+import multiprocessing
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.config import JoinConfig
+from repro.core.context import CollectionContext
 from repro.core.executor import (
     CheckpointStore,
     RetryPolicy,
@@ -124,23 +127,112 @@ def plan_length_bands(
 
 
 # ----------------------------------------------------------------------
+# fork-shared worker state
+# ----------------------------------------------------------------------
+
+#: Per-process shared join state: ``(token, collections, contexts)``.
+#: The parent publishes it before dispatch; band payloads then carry
+#: only id lists + config. Fork workers inherit this module global for
+#: free; spawn/forkserver workers receive it exactly once through the
+#: pool initializer (one pickle per *worker*, not per band).
+_SHARED: "tuple[int, tuple[Any, ...], tuple[Any, ...]] | None" = None
+
+#: Monotone tokens so a stale band task can never silently read the
+#: state of a different join running in the same process.
+_TOKENS = itertools.count(1)
+
+
+def _publish_shared(
+    token: int, collections: tuple[Any, ...], contexts: tuple[Any, ...]
+) -> None:
+    global _SHARED
+    _SHARED = (token, collections, contexts)
+
+
+def _worker_init(
+    token: int, state: "tuple[tuple[Any, ...], tuple[Any, ...]] | None"
+) -> None:
+    """Pool initializer: adopt the parent's shared collection state.
+
+    Under the ``fork`` start method the module global is inherited at
+    fork time and ``state`` is ``None``; under ``spawn``/``forkserver``
+    the collections and feature contexts arrive here, pickled once per
+    worker process.
+    """
+    if state is not None:
+        _publish_shared(token, *state)
+
+
+def _shared_state(token: int) -> tuple[tuple[Any, ...], tuple[Any, ...]]:
+    if _SHARED is None or _SHARED[0] != token:
+        have = _SHARED[0] if _SHARED is not None else None
+        raise RuntimeError(
+            "band task ran without its shared collection state "
+            f"(want token {token}, have {have})"
+        )
+    return _SHARED[1], _SHARED[2]
+
+
+def _pool_publication(
+    token: int,
+    collections: tuple[Any, ...],
+    contexts: tuple[Any, ...],
+    mp_context: Any,
+) -> dict[str, Any]:
+    """Publish shared state in-parent; return pool kwargs for run_bands.
+
+    The in-process execution paths (``use_processes=False``, retry
+    degradation) read the parent's module global directly; pool workers
+    get it via fork inheritance or the initializer, never per band.
+    """
+    _publish_shared(token, collections, contexts)
+    method = (
+        mp_context.get_start_method()
+        if mp_context is not None
+        else multiprocessing.get_start_method()
+    )
+    state = None if method == "fork" else (collections, contexts)
+    return {
+        "initializer": _worker_init,
+        "initargs": (token, state),
+        "mp_context": mp_context,
+    }
+
+
+# ----------------------------------------------------------------------
 # band tasks (module-level so ProcessPoolExecutor can pickle them)
 # ----------------------------------------------------------------------
 
 
 def _self_join_band(
-    payload: tuple[
-        int, tuple[int, ...], list[UncertainString], int, JoinConfig
-    ],
+    payload: tuple[int, int, tuple[int, ...], int, JoinConfig],
 ) -> tuple[int, list[JoinPair], JoinStatistics]:
     """Join one band's task set; keep only the pairs the band owns.
 
-    The task strings arrive in ascending original-id order, so local ids
-    preserve the global (length, id) visit order and every kept pair is
-    refined exactly as the serial driver would refine it.
+    The payload carries only ``(band, token, ids, owned_high, config)``
+    — strings and per-string features come from the process-shared
+    state, so nothing string-sized is pickled per band. Task strings
+    are resolved in ascending original-id order, so local ids preserve
+    the global (length, id) visit order and every kept pair is refined
+    exactly as the serial driver would refine it.
+
+    Halo strings (length above ``owned_high``) are probe-only: capping
+    the engine's index at the owned length keeps halo×halo pairs — which
+    the next band owns and this band would discard anyway — from ever
+    being generated, instead of evaluating them through the full filter
+    chain first. Owned×halo pairs are unaffected: every owned string
+    precedes every halo string in the (length, id) visit order, so it is
+    already indexed when the halo string probes.
     """
-    band_index, original_ids, strings, owned_high, config = payload
-    outcome = similarity_join(strings, config)
+    band_index, token, original_ids, owned_high, config = payload
+    (collection,), (context,) = _shared_state(token)
+    strings = [collection[string_id] for string_id in original_ids]
+    outcome = similarity_join(
+        strings,
+        config,
+        context=context.subcontext(original_ids),
+        index_length_cap=owned_high,
+    )
     kept: list[JoinPair] = []
     for pair in outcome.pairs:
         left_len = len(strings[pair.left_id])
@@ -161,18 +253,24 @@ def _self_join_band(
 
 
 def _two_join_band(
-    payload: tuple[
-        int,
-        tuple[int, ...],
-        list[UncertainString],
-        tuple[int, ...],
-        list[UncertainString],
-        JoinConfig,
-    ],
+    payload: tuple[int, int, tuple[int, ...], tuple[int, ...], JoinConfig],
 ) -> tuple[int, list[JoinPair], JoinStatistics]:
-    """R×S band task: probe the owned right band with eligible left strings."""
-    band_index, left_ids, left_strings, right_ids, right_strings, config = payload
-    outcome = similarity_join_two(left_strings, right_strings, config)
+    """R×S band task: probe the owned right band with eligible left strings.
+
+    Left strings probe as transient queries (their features stay
+    probe-local), so only the indexed right band takes a feature
+    subcontext from the shared state.
+    """
+    band_index, token, left_ids, right_ids, config = payload
+    (left, right), (right_context,) = _shared_state(token)
+    left_strings = [left[left_id] for left_id in left_ids]
+    right_strings = [right[right_id] for right_id in right_ids]
+    outcome = similarity_join_two(
+        left_strings,
+        right_strings,
+        config,
+        context=right_context.subcontext(right_ids),
+    )
     pairs = [
         JoinPair(left_ids[pair.left_id], right_ids[pair.right_id], pair.probability)
         for pair in outcome.pairs
@@ -269,6 +367,7 @@ def parallel_similarity_join(
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     run_dir: str | None = None,
+    mp_context: Any = None,
 ) -> JoinOutcome:
     """Length-banded parallel self-join under the fault-tolerant executor.
 
@@ -289,7 +388,15 @@ def parallel_similarity_join(
     ``use_processes=False`` runs the band tasks in-process (same sharded
     code path, retry/fault semantics, and results; no pool); inputs
     smaller than ``min_parallel`` or yielding a single band take the
-    serial driver directly unless checkpointing is on.
+    serial driver directly unless checkpointing is on. ``mp_context``
+    selects the multiprocessing start method (``None`` = platform
+    default); results are identical under fork and spawn.
+
+    Per-string features (frequency profiles, support alphabets,
+    certainty fast-path data) are computed once here in the parent and
+    published to every worker as process-shared state — band payloads
+    ship only id lists and the config, so no string or profile is
+    pickled per band.
     """
     serial_config = replace(
         config, workers=1, checkpoint_dir=None, fault_spec=None
@@ -312,16 +419,19 @@ def parallel_similarity_join(
     )
     stats = JoinStatistics(total_strings=len(collection))
     total_timer = stats.timer("total").start()
+    token = next(_TOKENS)
+    shared_collection = tuple(collection)
+    with stats.timer("features"):
+        context = CollectionContext.for_collection(
+            shared_collection, build_profiles=config.uses_frequency
+        )
+    pool_kwargs = _pool_publication(
+        token, (shared_collection,), (context,), mp_context
+    )
     payloads = [
         (
             band.index,
-            (
-                band.index,
-                band.member_ids,
-                [collection[string_id] for string_id in band.member_ids],
-                band.high,
-                serial_config,
-            ),
+            (band.index, token, band.member_ids, band.high, serial_config),
         )
         for band in bands
     ]
@@ -334,6 +444,7 @@ def parallel_similarity_join(
         stats=stats,
         faults=faults,
         checkpoint=checkpoint,
+        **pool_kwargs,
     )
 
     pairs: list[JoinPair] = []
@@ -358,6 +469,7 @@ def parallel_similarity_join_two(
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     run_dir: str | None = None,
+    mp_context: Any = None,
 ) -> JoinOutcome:
     """Length-banded parallel R×S join under the fault-tolerant executor.
 
@@ -367,7 +479,9 @@ def parallel_similarity_join_two(
     Every right string lives in exactly one band, so each pair is
     produced exactly once and the merged, sorted pair list is identical
     to :func:`repro.core.join_two.similarity_join_two`. Resilience
-    knobs behave exactly as in :func:`parallel_similarity_join`.
+    knobs and worker-state publication behave exactly as in
+    :func:`parallel_similarity_join`; only the right collection gets a
+    shared feature context (left strings probe as transient queries).
     """
     serial_config = replace(
         config, workers=1, checkpoint_dir=None, fault_spec=None
@@ -390,6 +504,16 @@ def parallel_similarity_join_two(
     )
     stats = JoinStatistics(total_strings=len(left) + len(right))
     total_timer = stats.timer("total").start()
+    token = next(_TOKENS)
+    shared_left = tuple(left)
+    shared_right = tuple(right)
+    with stats.timer("features"):
+        right_context = CollectionContext.for_collection(
+            shared_right, build_profiles=config.uses_frequency
+        )
+    pool_kwargs = _pool_publication(
+        token, (shared_left, shared_right), (right_context,), mp_context
+    )
     payloads = []
     for band in bands:
         eligible_left = tuple(
@@ -402,10 +526,9 @@ def parallel_similarity_join_two(
                 band.index,
                 (
                     band.index,
+                    token,
                     eligible_left,
-                    [left[left_id] for left_id in eligible_left],
                     band.member_ids,
-                    [right[right_id] for right_id in band.member_ids],
                     serial_config,
                 ),
             )
@@ -419,6 +542,7 @@ def parallel_similarity_join_two(
         stats=stats,
         faults=faults,
         checkpoint=checkpoint,
+        **pool_kwargs,
     )
 
     pairs: list[JoinPair] = []

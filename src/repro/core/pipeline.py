@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.config import JoinConfig, VerificationName
+from repro.core.context import CollectionContext, StringFeatures
 from repro.core.stats import JoinStatistics
 from repro.filters.base import FilterDecision, PipelineStage
 from repro.filters.cdf import CdfBoundFilter
@@ -35,19 +36,24 @@ TauProvider = Callable[[], float]
 class QueryContext:
     """Per-query state threaded through the chain.
 
-    Holds the query string R, its lazily built trie (``T_R`` is built at
-    most once and reused for all candidate pairs ``(R, *)`` — the
-    paper's amortization), and the frequency profiles of negative
-    pseudo-ids (search queries), which must die with the query instead
-    of polluting a shared cache.
+    Holds the query string R, its per-string features (shared with the
+    collection context for non-negative ids, probe-local for negative
+    pseudo-ids so a search query's profile dies with the probe), and its
+    lazily built trie (``T_R`` is built at most once and reused for all
+    candidate pairs ``(R, *)`` — the paper's amortization).
     """
 
-    __slots__ = ("query_id", "query", "local_profiles", "_trie")
+    __slots__ = ("query_id", "query", "features", "_trie")
 
-    def __init__(self, query_id: int, query: UncertainString) -> None:
+    def __init__(
+        self,
+        query_id: int,
+        query: UncertainString,
+        features: StringFeatures | None = None,
+    ) -> None:
         self.query_id = query_id
         self.query = query
-        self.local_profiles: dict[int, FrequencyProfile] = {}
+        self.features = features if features is not None else StringFeatures(query)
         self._trie: Trie | None = None
 
     def trie(self) -> Trie:
@@ -58,30 +64,43 @@ class QueryContext:
 
 
 class ProfileStore:
-    """id → frequency profile cache (index-resident state).
+    """id → per-string features and frequency profiles (index-resident).
 
-    Profiles of non-negative ids persist for the store's lifetime and
-    may be shared across runs (e.g. one store per
-    :class:`~repro.core.search.SimilaritySearcher` collection); negative
-    pseudo-ids resolve through the query context so a query's profile is
-    rebuilt per run.
+    A thin pipeline adapter over
+    :class:`~repro.core.context.CollectionContext`: features (and the
+    profiles cached on them) of non-negative ids persist for the
+    context's lifetime and may be shared across runs — or across
+    parallel band workers, which receive the parent's finished context
+    instead of rebuilding halo-string profiles per band. Negative
+    pseudo-ids resolve through the query context, so a query's profile
+    is rebuilt per probe.
     """
 
-    def __init__(self, shared: dict[int, FrequencyProfile] | None = None) -> None:
-        self._shared: dict[int, FrequencyProfile] = (
-            shared if shared is not None else {}
-        )
+    def __init__(self, context: CollectionContext | None = None) -> None:
+        self._context = context if context is not None else CollectionContext()
 
-    def get(
-        self, context: QueryContext, string_id: int, string: UncertainString
+    @property
+    def context(self) -> CollectionContext:
+        return self._context
+
+    def features_for(
+        self, string_id: int, string: UncertainString
+    ) -> StringFeatures:
+        """Features of ``string`` (shared for ids >= 0, fresh otherwise)."""
+        if string_id < 0:
+            return StringFeatures(string)
+        return self._context.features(string_id, string)
+
+    def profile(
+        self, features: StringFeatures, string: UncertainString
     ) -> FrequencyProfile:
-        cache = self._shared if string_id >= 0 else context.local_profiles
-        profile = cache.get(string_id)
+        """The frequency profile cached on ``features``, built on miss."""
+        profile = features.profile
         if profile is None:
             # Module-global lookup (not the imported binding captured in a
             # closure) so tests can monkeypatch ``pipeline.FrequencyProfile``.
             profile = FrequencyProfile(string)
-            cache[string_id] = profile
+            features.set_profile(profile)
         return profile
 
 
@@ -101,9 +120,10 @@ class FrequencyStage:
         candidate: UncertainString,
         tau: float,
     ) -> FilterDecision:
+        store = self._profiles
         return self._filter.decide(
-            self._profiles.get(context, context.query_id, context.query),
-            self._profiles.get(context, candidate_id, candidate),
+            store.profile(context.features, context.query),
+            store.profile(store.features_for(candidate_id, candidate), candidate),
             tau,
         )
 
@@ -113,8 +133,9 @@ class CdfStage:
 
     name = "cdf"
 
-    def __init__(self, k: int) -> None:
+    def __init__(self, k: int, profiles: ProfileStore) -> None:
         self._filter = CdfBoundFilter(k)
+        self._profiles = profiles
 
     def apply(
         self,
@@ -123,7 +144,13 @@ class CdfStage:
         candidate: UncertainString,
         tau: float,
     ) -> FilterDecision:
-        return self._filter.decide(context.query, candidate, tau)
+        return self._filter.decide(
+            context.query,
+            candidate,
+            tau,
+            left_features=context.features,
+            right_features=self._profiles.features_for(candidate_id, candidate),
+        )
 
 
 class VerifyStage:
@@ -173,7 +200,7 @@ def build_filter_stages(
     if config.uses_frequency:
         stages.append(FrequencyStage(config.k, profiles))
     if config.uses_cdf:
-        stages.append(CdfStage(config.k))
+        stages.append(CdfStage(config.k, profiles))
     return tuple(stages)
 
 
@@ -189,18 +216,21 @@ class StageChain:
         Always compute exact probabilities and never let a CDF accept
         skip verification, regardless of ``config.report_probabilities``
         — the top-N join needs exact values to rank by.
-    profile_cache:
-        Optional shared id → profile mapping (see :class:`ProfileStore`).
+    context:
+        Optional shared :class:`~repro.core.context.CollectionContext`
+        (see :class:`ProfileStore`), for chains that outlive one run
+        over the same indexed strings or reuse features computed by a
+        parallel driver's parent process.
     """
 
     def __init__(
         self,
         config: JoinConfig,
         force_exact: bool = False,
-        profile_cache: dict[int, FrequencyProfile] | None = None,
+        context: CollectionContext | None = None,
     ) -> None:
         self.config = config
-        self.profiles = ProfileStore(profile_cache)
+        self.profiles = ProfileStore(context)
         self.stages = build_filter_stages(config, self.profiles)
         self._want_probability = force_exact or config.report_probabilities
         self._verify = VerifyStage(
@@ -211,7 +241,9 @@ class StageChain:
 
     def context(self, query_id: int, query: UncertainString) -> QueryContext:
         """Fresh per-query state for ``query`` (build one per probe)."""
-        return QueryContext(query_id, query)
+        return QueryContext(
+            query_id, query, self.profiles.features_for(query_id, query)
+        )
 
     def refine(
         self,

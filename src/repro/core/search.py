@@ -13,10 +13,10 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.core.config import JoinConfig
+from repro.core.context import CollectionContext
 from repro.core.engine import JoinEngine
 from repro.core.results import SearchMatch, SearchOutcome
 from repro.core.stats import JoinStatistics
-from repro.filters.frequency import FrequencyProfile
 from repro.uncertain.string import UncertainString
 
 #: Pseudo-id for query strings: negative, so the engine keeps their
@@ -28,15 +28,21 @@ class SimilaritySearcher:
     """An immutable collection indexed for repeated similarity searches."""
 
     def __init__(
-        self, collection: Sequence[UncertainString], config: JoinConfig
+        self,
+        collection: Sequence[UncertainString],
+        config: JoinConfig,
+        context: CollectionContext | None = None,
     ) -> None:
         self.collection = list(collection)
         self.config = config
-        # Collection profiles persist across queries (index-resident
-        # state, like the segment index); each query's own profile lives
-        # under the negative pseudo-id in per-probe state.
-        self._profile_cache: dict[int, FrequencyProfile] = {}
-        self._engine = JoinEngine(config, profile_cache=self._profile_cache)
+        # Collection features/profiles persist across queries
+        # (index-resident state, like the segment index); each query's
+        # own profile lives with the negative pseudo-id's per-probe
+        # state. ``context`` lets a parallel band reuse features the
+        # parent already computed; by default features fill in lazily
+        # as queries touch the collection.
+        self._context = context if context is not None else CollectionContext()
+        self._engine = JoinEngine(config, context=self._context)
         order = sorted(
             range(len(self.collection)), key=lambda i: (len(self.collection[i]), i)
         )

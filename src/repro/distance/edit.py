@@ -64,14 +64,23 @@ def edit_distance_banded(left: str, right: str, k: int) -> int:
     n, m = len(left), len(right)
     big = k + 1
     # previous[j] holds D[i-1][j]; only j in [i - k, i + k] is meaningful.
+    # Two rows are allocated once and swapped — each iteration touches
+    # only the O(k) band slice plus the guard cells the next row reads
+    # (current[lo - 1] below the band, current[hi + 1] above it), so no
+    # O(m) list is built per outer iteration.
     previous = [j if j <= k else big for j in range(m + 1)]
+    current = [big] * (m + 1)
     for i in range(1, n + 1):
         lo = max(1, i - k)
         hi = min(m, i + k)
-        current = [big] * (m + 1)
         if i <= k:
             current[0] = i
-        row_min = current[0] if i <= k else big
+            row_min = i
+        else:
+            # Guard: the cell left of the band is out of band for this
+            # row (it may hold a stale value from two rows ago).
+            current[lo - 1] = big
+            row_min = big
         left_char = left[i - 1]
         for j in range(lo, hi + 1):
             cost = 0 if left_char == right[j - 1] else 1
@@ -87,7 +96,11 @@ def edit_distance_banded(left: str, right: str, k: int) -> int:
                 row_min = best
         if row_min > k:
             return big
-        previous = current
+        if hi < m:
+            # Guard: the next row reads previous[hi + 1] (its band grows
+            # one cell to the right); mark it out of band.
+            current[hi + 1] = big
+        previous, current = current, previous
     return previous[m] if previous[m] <= k else big
 
 

@@ -16,20 +16,56 @@ uncertain input. Cells outside the band have ``L = U = 0`` since the edit
 distance of prefixes with length gap ``> k`` surely exceeds ``k``.
 
 Complexity: ``O(min(|R|, |S|) * (k + 1) * max(k, gamma))`` per pair.
+
+Implementation notes (the allocation discipline behind ``BENCH_*.json``):
+the DP stores each row as four flat band-width float buffers (L and U
+for the previous/current row) reused across all rows — no per-cell
+tuple or list is built. A cell ``(x, y)`` lives at slot ``y - x + k + 1``
+(so the diagonal predecessor shares its slot), with zero-filled guard
+slots at both band edges standing in for out-of-band cells. Boundary
+cells are memoized per ``(distance, k)``, and a certain×certain pair
+short-circuits to :func:`~repro.distance.edit.edit_distance_banded`:
+for one-world strings the DP arrays collapse to the exact 0/1 indicator
+``[ed <= j]`` (both bounds are tight), so the banded integer kernel
+returns the byte-identical answer at a fraction of the cost.
+
+The agreement probability ``p1`` is computed inline from per-position
+tables built once per string and cached on it
+(:meth:`UncertainString.agreement_table`): a certain position is its
+character, an uncertain one its ``(chars, probs, pdf)`` triple.
+Certain×certain cells reduce ``p1`` to a character comparison, and the
+degenerate transitions (``p1`` exactly 0 or 1) skip the dead terms —
+every shortcut reproduces the general transition's floats bit-for-bit
+(multiplying by 1.0, adding 0.0, and max/min against the identity are
+all exact in IEEE arithmetic).
 """
 
 from __future__ import annotations
 
+from repro.distance.edit import edit_distance_banded
 from repro.filters.base import FilterDecision, FilterVerdict
 from repro.uncertain.string import UncertainString
 
 _Bounds = tuple[tuple[float, ...], tuple[float, ...]]
 
+_BOUNDARY_CACHE: dict[tuple[int, int], _Bounds] = {}
+
 
 def _boundary_cell(distance: int, k: int) -> _Bounds:
-    """Exact bounds for a cell on the top/left boundary (ed = distance)."""
-    values = tuple(1.0 if j >= distance else 0.0 for j in range(k + 1))
-    return values, values
+    """Exact bounds for a cell on the top/left boundary (ed = distance).
+
+    Memoized per ``(distance, k)`` — every pair at threshold ``k`` reads
+    the same ``O(|R| + |S|)`` boundary cells, so building the tuples
+    once per process (like :func:`_zero_cell`) removes them from the
+    per-pair cost entirely.
+    """
+    key = (distance, k)
+    cached = _BOUNDARY_CACHE.get(key)
+    if cached is None:
+        values = tuple(1.0 if j >= distance else 0.0 for j in range(k + 1))
+        cached = (values, values)
+        _BOUNDARY_CACHE[key] = cached
+    return cached
 
 
 _ZERO_CACHE: dict[int, _Bounds] = {}
@@ -46,73 +82,196 @@ def _zero_cell(k: int) -> _Bounds:
 
 
 def cdf_bounds(
-    left: UncertainString, right: UncertainString, k: int
+    left: UncertainString,
+    right: UncertainString,
+    k: int,
+    left_features: "object | None" = None,
+    right_features: "object | None" = None,
 ) -> tuple[tuple[float, ...], tuple[float, ...]]:
     """Theorem 4 bounds ``(L, U)`` on ``Pr(ed(left, right) <= j)``, j=0..k.
 
     Returns the final cell's arrays. Lengths differing by more than ``k``
-    yield all-zero bounds immediately.
+    yield all-zero bounds immediately. ``left_features``/``right_features``
+    accept per-collection feature objects (anything with ``is_certain``
+    and ``certain_text`` attributes, e.g.
+    :class:`repro.core.context.StringFeatures`) so the certainty scan
+    and one-world text materialization are paid once per collection
+    instead of once per pair; when omitted they are computed here.
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     n, m = len(left), len(right)
     if abs(n - m) > k:
-        zeros = tuple(0.0 for _ in range(k + 1))
-        return zeros, zeros
+        return _zero_cell(k)
+
+    if left_features is not None:
+        left_certain = left_features.is_certain  # type: ignore[attr-defined]
+        left_text = left_features.certain_text  # type: ignore[attr-defined]
+    else:
+        left_certain = left.is_certain
+        left_text = None
+    if right_features is not None:
+        right_certain = right_features.is_certain  # type: ignore[attr-defined]
+        right_text = right_features.certain_text  # type: ignore[attr-defined]
+    else:
+        right_certain = right.is_certain
+        right_text = None
+    if left_certain and right_certain:
+        # One joint world: the DP's L and U both collapse to the exact
+        # indicator [ed <= j] (each transition keeps 0/1 values tight),
+        # which is what the integer banded kernel computes directly.
+        if left_text is None:
+            left_text = "".join(left.agreement_table())  # type: ignore[arg-type]
+        if right_text is None:
+            right_text = "".join(right.agreement_table())  # type: ignore[arg-type]
+        distance = edit_distance_banded(left_text, right_text, k)
+        if distance > k:
+            return _zero_cell(k)
+        return _boundary_cell(distance, k)
+    left_table = left.agreement_table()
+    right_table = right.agreement_table()
 
     zero = _zero_cell(k)
-    # previous_row[y] / current_row[y] hold cell bounds for the banded y's.
-    previous_row: dict[int, _Bounds] = {}
+    k1 = k + 1
+    # Flat band-width rows: slot(x, y) = y - x + k + 1 in [1, 2k + 1];
+    # slots 0 and 2k + 2 are permanent zero guards (out-of-band cells).
+    # The diagonal predecessor (x-1, y-1) shares the slot, the vertical
+    # one (x-1, y) sits one slot right, the horizontal (x, y-1) one left.
+    width = 2 * k + 3
+    size = width * k1
+    zero_row = [0.0] * size
+    prev_l = [0.0] * size
+    prev_u = [0.0] * size
+    cur_l = [0.0] * size
+    cur_u = [0.0] * size
+
+    # Row x = 0: boundary cells (0, y) for the banded y's.
     for y in range(0, min(m, k) + 1):
-        previous_row[y] = _boundary_cell(y, k)
+        values = _boundary_cell(y, k)[0]
+        base = (y + k1) * k1
+        for j in range(k1):
+            prev_l[base + j] = values[j]
+            prev_u[base + j] = values[j]
 
     for x in range(1, n + 1):
-        current_row: dict[int, _Bounds] = {}
+        cur_l[:] = zero_row
+        cur_u[:] = zero_row
         row_mass = 0.0
         y_lo = max(0, x - k)
         y_hi = min(m, x + k)
         if y_lo == 0:
-            current_row[0] = _boundary_cell(x, k)
+            values = _boundary_cell(x, k)[0]
+            base = (k1 - x) * k1  # slot of (x, 0); x <= k here
+            for j in range(k1):
+                cur_l[base + j] = values[j]
+                cur_u[base + j] = values[j]
             y_start = 1
         else:
             y_start = y_lo
-        left_pos = left[x - 1]
+        left_entry = left_table[x - 1]
+        left_is_char = type(left_entry) is str
+        left_pdf = None if left_is_char else left_entry[2]  # type: ignore[index]
         for y in range(y_start, y_hi + 1):
-            diag = previous_row.get(y - 1, zero)
-            up = current_row.get(y - 1, zero)      # D2 = (x, y-1)
-            side = previous_row.get(y, zero)       # D3 = (x-1, y)
-            p1 = left_pos.agreement(right[y - 1])
-            p2 = 1.0 - p1
-            diag_l, diag_u = diag
-            up_l, up_u = up
-            side_l, side_u = side
+            slot = y - x + k1
+            out = slot * k1
+            diag = out                # (x-1, y-1) in the previous row
+            up = out - k1             # D2 = (x, y-1) in the current row
+            side = out + k1           # D3 = (x-1, y) in the previous row
+            # p1 = Pr(R[x] = S[y]), inlined from the per-position tables
+            # (identical accumulation order to UncertainPosition.agreement).
+            right_entry = right_table[y - 1]
+            if left_is_char:
+                if type(right_entry) is str:
+                    p1 = 1.0 if left_entry == right_entry else 0.0
+                else:
+                    p1 = right_entry[2].get(left_entry, 0.0)  # type: ignore[index]
+            elif type(right_entry) is str:
+                p1 = left_pdf.get(right_entry, 0.0)  # type: ignore[union-attr]
+            else:
+                l_chars, l_probs, l_pdf = left_entry  # type: ignore[misc]
+                r_chars, r_probs, r_pdf = right_entry  # type: ignore[misc]
+                p1 = 0.0
+                if len(l_chars) > len(r_chars):
+                    for char, prob in zip(r_chars, r_probs):
+                        p1 += prob * l_pdf.get(char, 0.0)
+                else:
+                    for char, prob in zip(l_chars, l_probs):
+                        p1 += prob * r_pdf.get(char, 0.0)
+            if p1 == 1.0:
+                # p2 = 0: the lower bounds copy the diagonal cell and the
+                # upper transition keeps only its unscaled D2/D3 terms.
+                cur_l[out] = prev_l[diag]
+                cur_u[out] = prev_u[diag]
+                for j in range(1, k1):
+                    cur_l[out + j] = prev_l[diag + j]
+                    u = prev_u[diag + j] + (
+                        cur_u[up + j - 1] + prev_u[side + j - 1]
+                    )
+                    cur_u[out + j] = u if u < 1.0 else 1.0
+                row_mass += cur_u[out + k]
+                continue
             # argmin D_i: neighbor with lexicographically greatest L array
             # (greatest L[0], ties by L[1], ...) — the most-likely-smallest
             # distance neighbor of Theorem 4.
-            best_l = max(diag_l, up_l, side_l)
-            lower = []
-            upper = []
-            for j in range(k + 1):
-                from_diag = p1 * diag_l[j]
-                from_best = p2 * best_l[j - 1] if j > 0 else 0.0
-                lower.append(max(from_diag, from_best))
-                u = p1 * diag_u[j]
-                if j > 0:
-                    u += p2 * diag_u[j - 1] + up_u[j - 1] + side_u[j - 1]
-                upper.append(min(1.0, u))
-            current_row[y] = (tuple(lower), tuple(upper))
-            row_mass += upper[k]
+            best_buf, best_off = prev_l, diag
+            for j in range(k1):
+                a = cur_l[up + j]
+                b = best_buf[best_off + j]
+                if a != b:
+                    if a > b:
+                        best_buf, best_off = cur_l, up
+                    break
+            for j in range(k1):
+                a = prev_l[side + j]
+                b = best_buf[best_off + j]
+                if a != b:
+                    if a > b:
+                        best_buf, best_off = prev_l, side
+                    break
+            if p1 == 0.0:
+                # p2 = 1: the diagonal terms vanish; j = 0 cells stay at
+                # the zero the row reset left in place.
+                for j in range(1, k1):
+                    cur_l[out + j] = best_buf[best_off + j - 1]
+                    u = (
+                        prev_u[diag + j - 1] + cur_u[up + j - 1]
+                    ) + prev_u[side + j - 1]
+                    cur_u[out + j] = u if u < 1.0 else 1.0
+                row_mass += cur_u[out + k]
+                continue
+            p2 = 1.0 - p1
+            # j = 0: no j-1 terms.
+            value = p1 * prev_l[diag]
+            cur_l[out] = value if value > 0.0 else 0.0
+            value = p1 * prev_u[diag]
+            cur_u[out] = value if value < 1.0 else 1.0
+            for j in range(1, k1):
+                from_diag = p1 * prev_l[diag + j]
+                from_best = p2 * best_buf[best_off + j - 1]
+                cur_l[out + j] = (
+                    from_diag if from_diag >= from_best else from_best
+                )
+                u = p1 * prev_u[diag + j]
+                u += (
+                    p2 * prev_u[diag + j - 1]
+                    + cur_u[up + j - 1]
+                    + prev_u[side + j - 1]
+                )
+                cur_u[out + j] = u if u < 1.0 else 1.0
+            row_mass += cur_u[out + k]
         if x <= k and y_lo == 0:
-            row_mass += current_row[0][1][k]
+            row_mass += cur_u[(k1 - x) * k1 + k]
         # Early abort (mirror of Section 6.2's prefix pruning): once every
         # upper bound in a row is 0, all later rows stay 0.
         if row_mass == 0.0:
             return zero
-        previous_row = current_row
-    final = previous_row.get(m)
-    if final is None:  # pragma: no cover - band always reaches (n, m)
-        return zero
-    return final
+        prev_l, cur_l = cur_l, prev_l
+        prev_u, cur_u = cur_u, prev_u
+    base = (m - n + k1) * k1
+    return (
+        tuple(prev_l[base : base + k1]),
+        tuple(prev_u[base : base + k1]),
+    )
 
 
 class CdfBoundFilter:
@@ -124,10 +283,17 @@ class CdfBoundFilter:
         self.k = k
 
     def decide(
-        self, left: UncertainString, right: UncertainString, tau: float
+        self,
+        left: UncertainString,
+        right: UncertainString,
+        tau: float,
+        left_features: "object | None" = None,
+        right_features: "object | None" = None,
     ) -> FilterDecision:
         """Accept on ``L[k] > tau``, reject on ``U[k] <= tau``."""
-        lower, upper = cdf_bounds(left, right, self.k)
+        lower, upper = cdf_bounds(
+            left, right, self.k, left_features, right_features
+        )
         if lower[self.k] > tau:
             return FilterDecision(
                 FilterVerdict.ACCEPT,

@@ -129,7 +129,7 @@ class FrequencyProfile:
     of Section 5.
     """
 
-    __slots__ = ("length", "_by_char")
+    __slots__ = ("length", "_by_char", "_chars", "_sorted_chars")
 
     _EMPTY = CharCountDistribution(certain=0, pmf=(1.0,))
 
@@ -147,25 +147,81 @@ class FrequencyProfile:
                 certain=certain, pmf=tuple(poisson_binomial_pmf(probs))
             )
         self._by_char = by_char
+        # Support is queried twice per pair by fd_lower_bound and again
+        # by E[nD]/E[pD]; cache both views once instead of allocating a
+        # fresh set per call. Insertion order above is sorted already.
+        self._chars = frozenset(by_char)
+        self._sorted_chars = tuple(by_char)
 
-    def chars(self) -> set[str]:
-        """Characters with positive occurrence probability."""
-        return set(self._by_char)
+    def chars(self) -> frozenset[str]:
+        """Characters with positive occurrence probability.
+
+        The same cached frozenset on every call — callers must not rely
+        on getting a private mutable copy.
+        """
+        return self._chars
+
+    @property
+    def sorted_chars(self) -> tuple[str, ...]:
+        """The support in ascending order (merge-iteration layout)."""
+        return self._sorted_chars
 
     def distribution(self, char: str) -> CharCountDistribution:
         """The count distribution of ``char`` (a point mass at 0 if absent)."""
         return self._by_char.get(char, self._EMPTY)
 
 
-def fd_lower_bound(left: FrequencyProfile, right: FrequencyProfile) -> int:
+def merged_support(
+    left: FrequencyProfile, right: FrequencyProfile
+) -> tuple[str, ...]:
+    """Ascending union of two support alphabets, no set construction.
+
+    A linear merge over the cached sorted tuples; this replaces the
+    per-pair ``left.chars() | right.chars()`` unions that used to run
+    up to three times per candidate pair (Lemma 6 + both E[nD] sides).
+    """
+    a, b = left._sorted_chars, right._sorted_chars
+    if a == b:
+        return a
+    i = j = 0
+    n, m = len(a), len(b)
+    out: list[str] = []
+    while i < n and j < m:
+        x, y = a[i], b[j]
+        if x == y:
+            out.append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            out.append(x)
+            i += 1
+        else:
+            out.append(y)
+            j += 1
+    if i < n:
+        out.extend(a[i:])
+    elif j < m:
+        out.extend(b[j:])
+    return tuple(out)
+
+
+def fd_lower_bound(
+    left: FrequencyProfile,
+    right: FrequencyProfile,
+    support: Sequence[str] | None = None,
+) -> int:
     """Lemma 6: a lower bound on ``fd(R, S)`` valid in every joint world.
 
     ``pD`` accumulates characters that ``R`` surely has more of than ``S``
     possibly can, ``nD`` the reverse; the bound is ``max(pD, nD)``.
+    ``support`` lets callers share one precomputed
+    :func:`merged_support` across the pair's filter bounds.
     """
+    if support is None:
+        support = merged_support(left, right)
     positive = 0
     negative = 0
-    for char in left.chars() | right.chars():
+    for char in support:
         l_dist = left.distribution(char)
         r_dist = right.distribution(char)
         if r_dist.total < l_dist.certain:
@@ -175,14 +231,22 @@ def fd_lower_bound(left: FrequencyProfile, right: FrequencyProfile) -> int:
     return max(positive, negative)
 
 
-def expected_negative(left: FrequencyProfile, right: FrequencyProfile) -> float:
+def expected_negative(
+    left: FrequencyProfile,
+    right: FrequencyProfile,
+    support: Sequence[str] | None = None,
+) -> float:
     """``E[nD] = sum_c E[(fS_c - fR_c)^+]`` with R=left, S=right.
 
     Per character this walks the (usually tiny) support of ``fR_c`` and
     reads ``E[(fS_c - x)^+]`` from the S2/S3 arrays in O(1).
+    Accumulation runs in ascending character order (deterministic,
+    unlike the old set-union iteration).
     """
+    if support is None:
+        support = merged_support(left, right)
     total = 0.0
-    for char in left.chars() | right.chars():
+    for char in support:
         l_dist = left.distribution(char)
         r_dist = right.distribution(char)
         if r_dist.total == 0:
@@ -198,10 +262,17 @@ def expected_negative(left: FrequencyProfile, right: FrequencyProfile) -> float:
 
 
 def expected_positive_negative(
-    left: FrequencyProfile, right: FrequencyProfile
+    left: FrequencyProfile,
+    right: FrequencyProfile,
+    support: Sequence[str] | None = None,
 ) -> tuple[float, float]:
     """``(E[pD], E[nD])`` between R=left and S=right."""
-    return expected_negative(right, left), expected_negative(left, right)
+    if support is None:
+        support = merged_support(left, right)
+    return (
+        expected_negative(right, left, support),
+        expected_negative(left, right, support),
+    )
 
 
 def chebyshev_upper_bound(
@@ -261,14 +332,23 @@ class FrequencyDistanceFilter:
         right_profile = (
             right if isinstance(right, FrequencyProfile) else FrequencyProfile(right)
         )
-        lower_fd = fd_lower_bound(left_profile, right_profile)
+        # One merged-support walk shared by Lemma 6 and both E[·] sides.
+        support = merged_support(left_profile, right_profile)
+        lower_fd = fd_lower_bound(left_profile, right_profile, support)
         if lower_fd > self.k:
             return FilterDecision(
                 FilterVerdict.REJECT,
                 upper=0.0,
                 reason=f"Lemma 6 frequency distance >= {lower_fd} > k",
             )
-        upper = chebyshev_upper_bound(left_profile, right_profile, self.k)
+        upper = chebyshev_upper_bound(
+            left_profile,
+            right_profile,
+            self.k,
+            expectations=expected_positive_negative(
+                left_profile, right_profile, support
+            ),
+        )
         if upper <= tau:
             return FilterDecision(
                 FilterVerdict.REJECT,

@@ -1,0 +1,369 @@
+"""Benchmark runner: hot-kernel micro-benchmarks + end-to-end joins.
+
+One registry of kernel cases (:data:`KERNELS`) is shared by
+
+* ``benchmarks/test_micro_kernels.py`` — the pytest-benchmark suite,
+* ``python -m benchmarks.run`` / ``repro-join bench`` — the JSON runner
+  behind the committed ``BENCH_5.json`` trajectory file, and
+* the CI regression gate (``--check``), which fails the build when a
+  kernel regresses by more than :data:`DEFAULT_TOLERANCE` × against the
+  committed baseline.
+
+Timing is plain ``perf_counter`` batching: each kernel callable is run
+in growing batches until :data:`MIN_MEASURE_SECONDS` of wall clock is
+accumulated, and ns/op is elapsed over logical operations (one kernel
+invocation = ``ops`` operations, so e.g. a 100-pair sweep counts 100).
+The end-to-end join benchmark reports pairs/sec over the
+length-eligible pair universe — the throughput number the ROADMAP's
+"fast as the hardware allows" goal tracks.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+#: Wall-clock floor per kernel measurement (seconds).
+MIN_MEASURE_SECONDS = 0.25
+#: Allowed slowdown vs. the committed baseline before --check fails.
+DEFAULT_TOLERANCE = 2.0
+#: Collection size of the end-to-end join benchmark (quick mode halves it).
+JOIN_SIZE = 300
+
+BenchFn = Callable[[], Any]
+
+
+@dataclass(frozen=True)
+class KernelCase:
+    """One micro-benchmark: ``setup()`` → (callable, logical ops per call)."""
+
+    name: str
+    setup: Callable[[], tuple[BenchFn, int]]
+
+
+def _dblp(size: int, theta: float = 0.2, cap: int = 8):
+    from repro.datasets import dblp_like_collection
+
+    return dblp_like_collection(
+        size, theta=theta, rng=1234, max_uncertain_positions=cap
+    )
+
+
+def _length_compatible_pairs(collection, k: int, count: int):
+    """Deterministic sample of length-eligible pairs from ``collection``."""
+    eligible = [
+        (left, right)
+        for i, left in enumerate(collection)
+        for right in collection[i + 1 :]
+        if abs(len(left) - len(right)) <= k
+    ]
+    rng = random.Random(99)
+    rng.shuffle(eligible)
+    return eligible[:count]
+
+
+def _setup_cdf_filter() -> tuple[BenchFn, int]:
+    """CDF-bound filter over a mixed certain/uncertain pair sample."""
+    from repro.filters.cdf import cdf_bounds
+
+    pairs = _length_compatible_pairs(_dblp(60), k=2, count=40)
+
+    def run():
+        for left, right in pairs:
+            cdf_bounds(left, right, 2)
+
+    return run, len(pairs)
+
+
+def _setup_cdf_dp_uncertain() -> tuple[BenchFn, int]:
+    """CDF DP on uncertain×uncertain pairs (no certain fast path)."""
+    from repro.filters.cdf import cdf_bounds
+
+    uncertain = [s for s in _dblp(120) if not s.is_certain]
+    pairs = _length_compatible_pairs(uncertain, k=2, count=20)
+
+    def run():
+        for left, right in pairs:
+            cdf_bounds(left, right, 2)
+
+    return run, len(pairs)
+
+
+def _setup_banded_edit_k2() -> tuple[BenchFn, int]:
+    from repro.distance.edit import edit_distance_banded
+
+    rng = random.Random(0)
+    words = [
+        "".join(rng.choice("abcdefgh") for _ in range(40)) for _ in range(20)
+    ]
+    pairs = [(a, b) for a in words[:10] for b in words[10:]]
+
+    def run():
+        for a, b in pairs:
+            edit_distance_banded(a, b, 2)
+
+    return run, len(pairs)
+
+
+def _setup_frequency_filter() -> tuple[BenchFn, int]:
+    """Lemma 6 + Theorem 3 over prebuilt profiles (the per-pair cost)."""
+    from repro.filters.frequency import FrequencyDistanceFilter, FrequencyProfile
+
+    collection = _dblp(60)
+    profiles = [FrequencyProfile(s) for s in collection]
+    pairs = [
+        (profiles[i], profiles[j])
+        for i, left in enumerate(collection)
+        for j in range(i + 1, len(collection))
+        if abs(len(left) - len(collection[j])) <= 2
+    ][:60]
+    fltr = FrequencyDistanceFilter(2)
+
+    def run():
+        for left, right in pairs:
+            fltr.decide(left, right, 0.1)
+
+    return run, len(pairs)
+
+
+def _setup_profile_build() -> tuple[BenchFn, int]:
+    from repro.filters.frequency import FrequencyProfile
+
+    collection = _dblp(60)
+
+    def run():
+        for string in collection:
+            FrequencyProfile(string)
+
+    return run, len(collection)
+
+
+def _setup_trie_verify_pair() -> tuple[BenchFn, int]:
+    from repro.verify.trie import build_trie
+    from repro.verify.trie_verify import trie_verify
+
+    collection = [s for s in _dblp(80) if not s.is_certain]
+    left = collection[0]
+    trie = build_trie(left)
+    right = min(collection[1:], key=lambda s: abs(len(s) - len(left)))
+
+    def run():
+        trie_verify(left, right, 2, left_trie=trie)
+
+    return run, 1
+
+
+KERNELS: tuple[KernelCase, ...] = (
+    KernelCase("cdf_filter", _setup_cdf_filter),
+    KernelCase("cdf_dp_uncertain", _setup_cdf_dp_uncertain),
+    KernelCase("banded_edit_k2", _setup_banded_edit_k2),
+    KernelCase("frequency_filter", _setup_frequency_filter),
+    KernelCase("profile_build", _setup_profile_build),
+    KernelCase("trie_verify_pair", _setup_trie_verify_pair),
+)
+
+
+def measure_kernel(case: KernelCase, min_seconds: float = MIN_MEASURE_SECONDS) -> dict:
+    """ns/op for one kernel case, batched to at least ``min_seconds``."""
+    fn, ops = case.setup()
+    fn()  # warm caches (boundary-cell memo, dataset construction)
+    calls = 0
+    elapsed = 0.0
+    batch = 1
+    while elapsed < min_seconds:
+        start = time.perf_counter()
+        for _ in range(batch):
+            fn()
+        elapsed += time.perf_counter() - start
+        calls += batch
+        batch = min(batch * 2, 64)
+    ns_per_op = elapsed * 1e9 / (calls * ops)
+    return {"ns_per_op": ns_per_op, "calls": calls, "ops_per_call": ops}
+
+
+def measure_join(workers: int, size: int = JOIN_SIZE, repeats: int = 3) -> dict:
+    """End-to-end QFCT join (k=2, τ=0.1): seconds and pairs/sec.
+
+    The join runs ``repeats`` times and the **median** attempt (by
+    throughput) is reported — single runs are far too noisy to gate on
+    when worker processes contend for the host's cores.
+    """
+    from repro.core.config import JoinConfig
+    from repro.core.join import similarity_join
+
+    collection = _dblp(size)
+    config = JoinConfig.for_algorithm(
+        "QFCT", k=2, tau=0.1, q=3, workers=workers
+    )
+    attempts = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        outcome = similarity_join(collection, config)
+        seconds = time.perf_counter() - start
+        eligible = outcome.stats.stage_count("length", "eligible")
+        attempts.append(
+            {
+                "workers": workers,
+                "size": size,
+                "seconds": seconds,
+                "result_pairs": len(outcome.pairs),
+                "eligible_pairs": eligible,
+                "pairs_per_sec": eligible / seconds if seconds > 0 else 0.0,
+            }
+        )
+    attempts.sort(key=lambda row: row["pairs_per_sec"])
+    median = dict(attempts[len(attempts) // 2])
+    median["attempts"] = [row["pairs_per_sec"] for row in attempts]
+    return median
+
+
+def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict:
+    """The full benchmark suite as a JSON-ready document."""
+    min_seconds = 0.1 if quick else MIN_MEASURE_SECONDS
+    join_size = JOIN_SIZE // 2 if quick else JOIN_SIZE
+    kernels = {}
+    for case in KERNELS:
+        kernels[case.name] = measure_kernel(case, min_seconds)
+        print(
+            f"[bench] {case.name}: {kernels[case.name]['ns_per_op']:.0f} ns/op",
+            file=sys.stderr,
+        )
+    joins = {}
+    for workers in join_workers:
+        joins[f"workers{workers}"] = measure_join(
+            workers, join_size, repeats=1 if quick else 3
+        )
+        row = joins[f"workers{workers}"]
+        print(
+            f"[bench] join workers={workers}: {row['seconds']:.2f}s "
+            f"({row['pairs_per_sec']:.0f} pairs/sec)",
+            file=sys.stderr,
+        )
+    return {
+        "schema": 1,
+        "quick": quick,
+        "kernels": kernels,
+        "join": joins,
+    }
+
+
+def compute_speedups(before: dict, after: dict) -> dict:
+    """before/after ratios (>1 = faster now) for kernels and joins."""
+    speedups: dict[str, float] = {}
+    for name, row in after.get("kernels", {}).items():
+        base = before.get("kernels", {}).get(name)
+        if base and row["ns_per_op"] > 0:
+            speedups[name] = base["ns_per_op"] / row["ns_per_op"]
+    for name, row in after.get("join", {}).items():
+        base = before.get("join", {}).get(name)
+        if base and base.get("pairs_per_sec"):
+            speedups[f"join_{name}"] = (
+                row["pairs_per_sec"] / base["pairs_per_sec"]
+            )
+    return speedups
+
+
+def check_regressions(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Regression messages vs. ``baseline`` (empty = gate passes).
+
+    A kernel fails when it is more than ``tolerance`` × slower than the
+    committed ns/op; a join fails when throughput drops below
+    ``1 / tolerance`` of the committed pairs/sec. The generous default
+    absorbs CI-machine noise while still catching real regressions.
+    """
+    failures: list[str] = []
+    for name, row in baseline.get("kernels", {}).items():
+        measured = current.get("kernels", {}).get(name)
+        if measured is None:
+            failures.append(f"kernel {name}: missing from current run")
+            continue
+        if measured["ns_per_op"] > row["ns_per_op"] * tolerance:
+            failures.append(
+                f"kernel {name}: {measured['ns_per_op']:.0f} ns/op vs "
+                f"baseline {row['ns_per_op']:.0f} (> {tolerance:g}x)"
+            )
+    for name, row in baseline.get("join", {}).items():
+        measured = current.get("join", {}).get(name)
+        if measured is None:
+            failures.append(f"join {name}: missing from current run")
+            continue
+        if measured["pairs_per_sec"] * tolerance < row["pairs_per_sec"]:
+            failures.append(
+                f"join {name}: {measured['pairs_per_sec']:.0f} pairs/sec vs "
+                f"baseline {row['pairs_per_sec']:.0f} (> {tolerance:g}x slower)"
+            )
+    return failures
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="micro-kernel + end-to-end join benchmark runner",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, help="write the JSON document here"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter measurements and a half-size join (CI smoke)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="JSON",
+        help="embed speedups vs. this previously recorded run",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="JSON",
+        help="fail (exit 1) on > tolerance regression vs. this baseline",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"--check slowdown tolerance (default {DEFAULT_TOLERANCE:g}x)",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_suite(quick=args.quick)
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            before = json.load(handle)
+        document["baseline"] = before
+        document["speedup"] = compute_speedups(before, document)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[bench] wrote {args.output}", file=sys.stderr)
+    else:
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        print()
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            committed = json.load(handle)
+        failures = check_regressions(document, committed, args.tolerance)
+        for failure in failures:
+            print(f"[bench] REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"[bench] regression gate passed (tolerance {args.tolerance:g}x)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

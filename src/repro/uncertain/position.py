@@ -80,6 +80,15 @@ class UncertainPosition:
         """The most probable character."""
         return self._chars[0]
 
+    @property
+    def pdf(self) -> dict[str, float]:
+        """The char → probability mapping (treat as read-only).
+
+        Exposed so batch consumers (the CDF-bound DP) can hoist the dict
+        once instead of calling :meth:`probability` per lookup.
+        """
+        return self._pdf
+
     def probability(self, char: str) -> float:
         """``Pr(position = char)`` (0 for characters outside the support)."""
         return self._pdf.get(char, 0.0)

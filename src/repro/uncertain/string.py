@@ -25,7 +25,7 @@ class UncertainString:
     the mixed literal style used by the paper's examples).
     """
 
-    __slots__ = ("_positions", "_hash")
+    __slots__ = ("_positions", "_hash", "_is_certain", "_agreement_table")
 
     def __init__(self, positions: Iterable[UncertainPosition]) -> None:
         self._positions = tuple(positions)
@@ -35,6 +35,11 @@ class UncertainString:
                     f"positions must be UncertainPosition, got {type(pos).__name__}"
                 )
         self._hash: int | None = None
+        self._is_certain: bool | None = None
+        self._agreement_table: tuple[
+            str | tuple[tuple[str, ...], tuple[float, ...], dict[str, float]],
+            ...,
+        ] | None = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -107,8 +112,38 @@ class UncertainString:
 
     @property
     def is_certain(self) -> bool:
-        """True when the string has exactly one possible world."""
-        return all(pos.is_certain for pos in self._positions)
+        """True when the string has exactly one possible world (cached)."""
+        cached = self._is_certain
+        if cached is None:
+            cached = all(pos.is_certain for pos in self._positions)
+            self._is_certain = cached
+        return cached
+
+    def agreement_table(
+        self,
+    ) -> tuple[
+        str | tuple[tuple[str, ...], tuple[float, ...], dict[str, float]], ...
+    ]:
+        """Agreement-ready per-position entries, built once and cached.
+
+        A certain position is represented by its character, an uncertain
+        one by its ``(chars, probs, pdf)`` triple in most-probable-first
+        order — exactly the data :meth:`UncertainPosition.agreement`
+        walks, laid out so batch consumers (the Theorem 4 CDF-bound DP)
+        can compute ``p1`` with plain indexing instead of a method call
+        per grid cell. The string is immutable, so every pair it
+        participates in shares the same table.
+        """
+        table = self._agreement_table
+        if table is None:
+            table = tuple(
+                pos.chars[0]
+                if len(pos.chars) == 1
+                else (pos.chars, pos.probs, pos.pdf)
+                for pos in self._positions
+            )
+            self._agreement_table = table
+        return table
 
     @property
     def uncertain_indices(self) -> tuple[int, ...]:

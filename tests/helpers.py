@@ -1,4 +1,14 @@
-"""Shared test utilities: random uncertain strings and hypothesis strategies."""
+"""Shared test utilities: random strings, strategies, reference kernels.
+
+Besides the random-collection builders and hypothesis strategies, this
+module keeps **frozen reference implementations** of the hot kernels
+(CDF-bound DP, banded edit distance, frequency bounds) as they existed
+before the allocation-conscious rewrites. The optimized kernels in
+``repro.filters`` / ``repro.distance`` must stay float-for-float
+identical to these copies — ``tests/test_kernel_equivalence.py`` holds
+them to it. Do not "fix" or modernize the reference copies; their whole
+value is that they do not change.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +16,7 @@ import random
 
 from hypothesis import strategies as st
 
+from repro.filters.frequency import FrequencyProfile
 from repro.uncertain.alphabet import Alphabet
 from repro.uncertain.position import UncertainPosition
 from repro.uncertain.string import UncertainString
@@ -124,4 +135,168 @@ def uncertain_strings(
         )
         .map(UncertainString)
         .map(clamp)
+    )
+
+# ----------------------------------------------------------------------
+# frozen reference kernels (pre-optimization copies — do not modernize)
+# ----------------------------------------------------------------------
+
+_RefBounds = tuple[tuple[float, ...], tuple[float, ...]]
+
+
+def _ref_boundary_cell(distance: int, k: int) -> _RefBounds:
+    values = tuple(1.0 if j >= distance else 0.0 for j in range(k + 1))
+    return values, values
+
+
+def reference_cdf_bounds(
+    left: UncertainString, right: UncertainString, k: int
+) -> _RefBounds:
+    """The original tuple-per-cell Theorem 4 DP (pre flat-buffer rewrite)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    n, m = len(left), len(right)
+    if abs(n - m) > k:
+        zeros = tuple(0.0 for _ in range(k + 1))
+        return zeros, zeros
+
+    zeros = tuple(0.0 for _ in range(k + 1))
+    zero: _RefBounds = (zeros, zeros)
+    previous_row: dict[int, _RefBounds] = {}
+    for y in range(0, min(m, k) + 1):
+        previous_row[y] = _ref_boundary_cell(y, k)
+
+    for x in range(1, n + 1):
+        current_row: dict[int, _RefBounds] = {}
+        row_mass = 0.0
+        y_lo = max(0, x - k)
+        y_hi = min(m, x + k)
+        if y_lo == 0:
+            current_row[0] = _ref_boundary_cell(x, k)
+            y_start = 1
+        else:
+            y_start = y_lo
+        left_pos = left[x - 1]
+        for y in range(y_start, y_hi + 1):
+            diag = previous_row.get(y - 1, zero)
+            up = current_row.get(y - 1, zero)
+            side = previous_row.get(y, zero)
+            p1 = left_pos.agreement(right[y - 1])
+            p2 = 1.0 - p1
+            diag_l, diag_u = diag
+            up_l, up_u = up
+            side_l, side_u = side
+            best_l = max(diag_l, up_l, side_l)
+            lower = []
+            upper = []
+            for j in range(k + 1):
+                from_diag = p1 * diag_l[j]
+                from_best = p2 * best_l[j - 1] if j > 0 else 0.0
+                lower.append(max(from_diag, from_best))
+                u = p1 * diag_u[j]
+                if j > 0:
+                    u += p2 * diag_u[j - 1] + up_u[j - 1] + side_u[j - 1]
+                upper.append(min(1.0, u))
+            current_row[y] = (tuple(lower), tuple(upper))
+            row_mass += upper[k]
+        if x <= k and y_lo == 0:
+            row_mass += current_row[0][1][k]
+        if row_mass == 0.0:
+            return zero
+        previous_row = current_row
+    final = previous_row.get(m)
+    if final is None:  # pragma: no cover - band always reaches (n, m)
+        return zero
+    return final
+
+
+def reference_edit_distance_banded(left: str, right: str, k: int) -> int:
+    """The original banded DP allocating a fresh row per outer iteration."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    length_gap = abs(len(left) - len(right))
+    if length_gap > k:
+        return k + 1
+    if left == right:
+        return 0
+    if len(left) < len(right):
+        left, right = right, left
+    n, m = len(left), len(right)
+    big = k + 1
+    previous = [j if j <= k else big for j in range(m + 1)]
+    for i in range(1, n + 1):
+        lo = max(1, i - k)
+        hi = min(m, i + k)
+        current = [big] * (m + 1)
+        if i <= k:
+            current[0] = i
+        row_min = current[0] if i <= k else big
+        left_char = left[i - 1]
+        for j in range(lo, hi + 1):
+            cost = 0 if left_char == right[j - 1] else 1
+            best = previous[j - 1] + cost
+            if previous[j] + 1 < best:
+                best = previous[j] + 1
+            if current[j - 1] + 1 < best:
+                best = current[j - 1] + 1
+            if best > big:
+                best = big
+            current[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min > k:
+            return big
+        previous = current
+    return previous[m] if previous[m] <= k else big
+
+
+def reference_fd_lower_bound(
+    left: FrequencyProfile, right: FrequencyProfile
+) -> int:
+    """The original Lemma 6 walk over a per-pair support-set union."""
+    positive = 0
+    negative = 0
+    for char in left.chars() | right.chars():
+        l_dist = left.distribution(char)
+        r_dist = right.distribution(char)
+        if r_dist.total < l_dist.certain:
+            positive += l_dist.certain - r_dist.total
+        if l_dist.total < r_dist.certain:
+            negative += r_dist.certain - l_dist.total
+    return max(positive, negative)
+
+
+def reference_expected_negative(
+    left: FrequencyProfile, right: FrequencyProfile
+) -> float:
+    """The original E[nD] sum, pinned to ascending character order.
+
+    The pre-optimization code iterated ``left.chars() | right.chars()``
+    in set (hash) order; the optimized kernel iterates the sorted merged
+    support. Float accumulation order matters for exact equality, so
+    this reference fixes the ascending order the optimized kernel is
+    specified to use — the per-character terms are otherwise verbatim.
+    """
+    total = 0.0
+    for char in sorted(left.chars() | right.chars()):
+        l_dist = left.distribution(char)
+        r_dist = right.distribution(char)
+        if r_dist.total == 0:
+            continue
+        contribution = 0.0
+        for offset, mass in enumerate(l_dist.pmf):
+            if mass == 0.0:
+                continue
+            x = l_dist.certain + offset
+            contribution += mass * r_dist.expected_excess_over(x)
+        total += contribution
+    return total
+
+
+def reference_expected_positive_negative(
+    left: FrequencyProfile, right: FrequencyProfile
+) -> tuple[float, float]:
+    return (
+        reference_expected_negative(right, left),
+        reference_expected_negative(left, right),
     )

@@ -128,3 +128,24 @@ class TestFilterDecisions:
     def test_rejects_negative_k(self):
         with pytest.raises(ValueError):
             CdfBoundFilter(k=-1)
+
+
+class TestKernelCaches:
+    """Regression: per-(distance, k) boundary cells are memoized."""
+
+    def test_boundary_cell_memoized(self):
+        from repro.filters.cdf import _boundary_cell
+
+        assert _boundary_cell(3, 2) is _boundary_cell(3, 2)
+        assert _boundary_cell(0, 4) is _boundary_cell(0, 4)
+        assert _boundary_cell(2, 2) == (
+            (0.0, 0.0, 1.0),
+            (0.0, 0.0, 1.0),
+        )
+
+    def test_certain_pair_fast_path_uses_boundary_cells(self):
+        from repro.filters.cdf import _boundary_cell
+
+        a = UncertainString.from_text("ACGT")
+        b = UncertainString.from_text("ACGA")
+        assert cdf_bounds(a, b, 2) is _boundary_cell(1, 2)

@@ -16,6 +16,7 @@ from repro.filters.frequency import (
     expected_negative,
     expected_positive_negative,
     fd_lower_bound,
+    merged_support,
     poisson_binomial_pmf,
 )
 from repro.uncertain.parser import parse_uncertain
@@ -231,3 +232,24 @@ class TestFilterDecisions:
     def test_rejects_negative_k(self):
         with pytest.raises(ValueError):
             FrequencyDistanceFilter(k=-1)
+
+
+class TestSupportCaching:
+    """Regression: support views are cached, not rebuilt per call."""
+
+    def test_chars_returns_the_same_frozenset_object(self):
+        profile = FrequencyProfile(UncertainString.from_text("ACGTAC"))
+        assert profile.chars() is profile.chars()
+        assert isinstance(profile.chars(), frozenset)
+
+    def test_sorted_chars_is_ascending_and_cached(self):
+        rng = random.Random(77)
+        for _ in range(20):
+            profile = FrequencyProfile(random_uncertain(rng, 8, theta=0.5))
+            assert profile.sorted_chars is profile.sorted_chars
+            assert list(profile.sorted_chars) == sorted(profile.chars())
+
+    def test_merged_support_fast_path_shares_the_tuple(self):
+        a = FrequencyProfile(UncertainString.from_text("ACGT"))
+        b = FrequencyProfile(UncertainString.from_text("TGCA"))
+        assert merged_support(a, b) is a.sorted_chars

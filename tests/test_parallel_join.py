@@ -82,6 +82,32 @@ class TestParallelEqualsSerial:
         parallel = parallel_similarity_join(collection, config, min_parallel=0)
         assert_outcomes_identical(parallel, serial)
 
+    def test_probe_only_halos_remove_duplicate_filter_work(self):
+        """Summed band filter counters equal the serial driver's exactly.
+
+        Halo strings are probe-only (``index_length_cap``), so no
+        halo×halo pair is ever evaluated: every length-eligible pair is
+        counted once, in the band owning its shorter string.
+        """
+        rng = random.Random(42)
+        collection = random_collection(rng, 60, length_range=(3, 12))
+        serial = similarity_join(collection, JoinConfig(k=2, tau=0.1, q=2))
+        parallel = parallel_similarity_join(
+            collection,
+            JoinConfig(k=2, tau=0.1, q=2, workers=4),
+            use_processes=False,
+            min_parallel=0,
+        )
+        assert_outcomes_identical(parallel, serial)
+        for stage, counter in (
+            ("length", "eligible"),
+            ("qgram", "survivors"),
+            ("qgram", "rejected"),
+        ):
+            assert parallel.stats.stage_count(stage, counter) == serial.stats.stage_count(
+                stage, counter
+            )
+
     def test_public_driver_dispatches_on_workers(self):
         """similarity_join(config.workers > 1) routes through the bands."""
         rng = random.Random(7)
