@@ -14,7 +14,7 @@ import random
 import pytest
 
 from repro.distance.edit import edit_distance
-from repro.report.bench import KERNELS
+from repro.report.bench import KERNELS, _requirement_available
 from repro.verify.trie import build_trie
 
 from benchmarks.conftest import dblp
@@ -24,6 +24,8 @@ EXPERIMENT = "micro_kernels"
 
 @pytest.mark.parametrize("case", KERNELS, ids=lambda case: case.name)
 def test_kernel(case, benchmark):
+    if not _requirement_available(case.requires):
+        pytest.skip(f"requires optional dependency {case.requires!r}")
     fn, _ops = case.setup()
     benchmark(fn)
 

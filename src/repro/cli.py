@@ -70,6 +70,14 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
         "driver (default 1 = serial; results are identical)",
     )
     parser.add_argument(
+        "--backend",
+        default="python",
+        choices=("python", "numpy"),
+        help="batch-kernel backend: 'python' (default, pure-python "
+        "reference) or 'numpy' (vectorized block kernels; requires the "
+        "optional numpy dependency; results are identical)",
+    )
+    parser.add_argument(
         "--stats", action="store_true", help="print pipeline statistics"
     )
 
@@ -121,6 +129,7 @@ def _config(args: argparse.Namespace) -> JoinConfig:
         band_timeout=getattr(args, "band_timeout", None),
         checkpoint_dir=getattr(args, "resume", None),
         fault_spec=getattr(args, "inject_faults", None),
+        backend=getattr(args, "backend", "python"),
     )
 
 

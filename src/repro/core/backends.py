@@ -1,0 +1,158 @@
+"""Execution-backend dispatch for the batch filter kernels.
+
+A backend supplies the *batched* variants of the two hot filter kernels
+— Theorem 4 CDF bounds and the Section 5 frequency bounds — used by the
+engine's batch-refine path (DESIGN.md §6f). Two backends exist:
+
+``python``
+    The pinned reference: scalar kernel per candidate, exactly the
+    floats every golden fixture was frozen against. It deliberately
+    reports ``supports_batch = False`` so the engine keeps its scalar
+    per-candidate hot path (no grouping overhead for no gain).
+
+``numpy``
+    Vectorized block kernels (:mod:`repro.filters.batch_numpy`), bit-
+    identical to the reference by construction and enforced by
+    ``tests/test_backend_parity.py``. Optional: selecting it without
+    numpy installed raises
+    :class:`~repro.core.errors.ConfigurationError`, while merely
+    importing ``repro`` never requires numpy.
+
+Backends are resolved from :attr:`JoinConfig.backend
+<repro.core.config.JoinConfig.backend>` by :func:`resolve_backend`.
+Because both backends produce byte-identical results, the backend name
+is *not* part of the checkpoint fingerprint
+(:mod:`repro.core.parallel`) — a run checkpointed under one backend may
+resume under the other.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.filters import batch_numpy
+from repro.filters.cdf import cdf_bounds_batch
+from repro.filters.frequency import FrequencyProfile, frequency_bounds_batch
+from repro.uncertain.string import UncertainString
+
+_Bounds = tuple[tuple[float, ...], tuple[float, ...]]
+
+BACKEND_NAMES: tuple[str, ...] = ("python", "numpy")
+
+
+class KernelBackend(Protocol):
+    """The batch kernel surface a backend must provide."""
+
+    name: str
+    #: Whether the engine should group candidates and call the batch
+    #: kernels (False keeps the scalar per-candidate path).
+    supports_batch: bool
+
+    def cdf_bounds_batch(
+        self,
+        left: UncertainString,
+        rights: Sequence[UncertainString],
+        k: int,
+        left_features: object | None = None,
+        right_features: Sequence[object | None] | None = None,
+    ) -> list[_Bounds]: ...
+
+    def frequency_bounds_batch(
+        self,
+        left: FrequencyProfile,
+        rights: Sequence[FrequencyProfile],
+        k: int,
+    ) -> list[tuple[int, float]]: ...
+
+
+class PythonBackend:
+    """Reference backend: scalar kernels, candidate at a time."""
+
+    name = "python"
+    supports_batch = False
+
+    def cdf_bounds_batch(
+        self,
+        left: UncertainString,
+        rights: Sequence[UncertainString],
+        k: int,
+        left_features: object | None = None,
+        right_features: Sequence[object | None] | None = None,
+    ) -> list[_Bounds]:
+        result: list[_Bounds] = cdf_bounds_batch(
+            left, rights, k, left_features, right_features
+        )
+        return result
+
+    def frequency_bounds_batch(
+        self,
+        left: FrequencyProfile,
+        rights: Sequence[FrequencyProfile],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        result: list[tuple[int, float]] = frequency_bounds_batch(
+            left, rights, k
+        )
+        return result
+
+
+class NumpyBackend:
+    """Vectorized backend over ``(num_candidates, ...)`` arrays."""
+
+    name = "numpy"
+    supports_batch = True
+
+    def cdf_bounds_batch(
+        self,
+        left: UncertainString,
+        rights: Sequence[UncertainString],
+        k: int,
+        left_features: object | None = None,
+        right_features: Sequence[object | None] | None = None,
+    ) -> list[_Bounds]:
+        result: list[_Bounds] = batch_numpy.cdf_bounds_batch_numpy(
+            left, rights, k, left_features, right_features
+        )
+        return result
+
+    def frequency_bounds_batch(
+        self,
+        left: FrequencyProfile,
+        rights: Sequence[FrequencyProfile],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        result: list[tuple[int, float]] = (
+            batch_numpy.frequency_bounds_batch_numpy(left, rights, k)
+        )
+        return result
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy backend can actually run here."""
+    available: bool = batch_numpy.numpy_available()
+    return available
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names usable in this interpreter (python always is)."""
+    if numpy_available():
+        return BACKEND_NAMES
+    return ("python",)
+
+
+def resolve_backend(name: str) -> KernelBackend:
+    """The :class:`KernelBackend` for a validated config ``backend`` name."""
+    if name == "python":
+        return PythonBackend()
+    if name == "numpy":
+        if not numpy_available():
+            raise ConfigurationError(
+                "backend 'numpy' requires the optional numpy dependency, "
+                "which is not installed; use backend 'python' or install "
+                "numpy"
+            )
+        return NumpyBackend()
+    raise ConfigurationError(
+        f"unknown backend {name!r}; choose from {sorted(BACKEND_NAMES)}"
+    )

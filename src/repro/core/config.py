@@ -84,6 +84,14 @@ class JoinConfig:
         :meth:`repro.util.faults.FaultPlan.from_spec` syntax (e.g.
         ``"crash@2x3,hang@0/1.5"``). Testing/benchmark hook; ``None``
         (default) injects nothing and injection never changes results.
+    backend:
+        Batch-kernel execution backend (:mod:`repro.core.backends`):
+        ``"python"`` (default) keeps the pinned scalar reference path,
+        ``"numpy"`` vectorizes the frequency/CDF filters over blocks of
+        candidates. Results are byte-identical either way; numpy is an
+        optional dependency whose absence is only an error when this is
+        set to ``"numpy"`` (checked at engine construction, so configs
+        stay constructible and picklable everywhere).
     """
 
     k: int
@@ -101,6 +109,7 @@ class JoinConfig:
     band_timeout: float | None = None
     checkpoint_dir: str | None = None
     fault_spec: str | None = None
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -152,6 +161,11 @@ class JoinConfig:
             FaultPlan.from_spec(self.fault_spec)
         except ValueError as exc:
             raise ConfigurationError(str(exc)) from None
+        if self.backend not in ("python", "numpy"):
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                "choose from ['numpy', 'python']"
+            )
 
     @classmethod
     def for_algorithm(cls, name: str, k: int, tau: float, **overrides) -> "JoinConfig":

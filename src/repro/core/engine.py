@@ -215,6 +215,11 @@ class JoinEngine:
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else JoinStatistics()
+        # Batch refinement folds the whole candidate block under one τ
+        # read, so it is only sound when τ is the constant config.tau —
+        # an adaptive provider (top-N) must keep the per-candidate path
+        # that re-reads τ between pulls.
+        self._constant_tau = tau is None
         self.tau: TauProvider = tau if tau is not None else (lambda: config.tau)
         self.source = make_source(config)
         self.chain = StageChain(config, force_exact=force_exact, context=context)
@@ -245,9 +250,25 @@ class JoinEngine:
         transient queries: their frequency profiles stay probe-local.
         """
         context = self.chain.context(query_id, query)
-        for candidate_id, upper in self.source.probe(
-            query, self.tau(), self.stats
-        ):
+        candidates = self.source.probe(query, self.tau(), self.stats)
+        if self._constant_tau and self.chain.batch_refine and len(candidates) >= 2:
+            # Batch-refine path (DESIGN.md §6f): group the probe's
+            # surviving candidates and run each filter stage as one
+            # vectorized kernel call over the block. Results are
+            # byte-identical to the scalar loop below.
+            entries = [
+                (candidate_id, self._strings[candidate_id], upper)
+                for candidate_id, upper in candidates
+            ]
+            refined = self.chain.refine_block(
+                context, entries, self.tau(), self.stats
+            )
+            for (candidate_id, _, _), (similar, probability) in zip(
+                entries, refined
+            ):
+                yield candidate_id, similar, probability
+            return
+        for candidate_id, upper in candidates:
             similar, probability = self.chain.refine(
                 context,
                 candidate_id,

@@ -35,6 +35,7 @@ retry loop, and degradation.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -81,6 +82,14 @@ class RetryPolicy:
     Backoff before re-dispatch ``n`` (1-based) is
     ``backoff * backoff_factor ** (n - 1)`` seconds; ``sleep`` is
     injectable so tests can run the schedule without waiting.
+
+    ``jitter`` desynchronizes bands that failed for a shared cause
+    (e.g. a briefly unreachable resource) and would otherwise hammer it
+    again in lockstep: each band's backoff is stretched by up to
+    ``jitter`` of itself, by a *deterministic* fraction keyed on
+    ``(jitter_seed, band_index, attempt)`` — runs stay reproducible,
+    and re-runs of a flaky band follow the identical schedule. The
+    default ``jitter=0.0`` preserves the historical exact timings.
     """
 
     retries: int = 2
@@ -88,6 +97,8 @@ class RetryPolicy:
     backoff: float = 0.05
     backoff_factor: float = 2.0
     sleep: Callable[[float], None] = time.sleep
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -103,10 +114,31 @@ class RetryPolicy:
                 "backoff must be >= 0 and backoff_factor >= 1, got "
                 f"{self.backoff}/{self.backoff_factor}"
             )
+        if self.jitter < 0:
+            raise ConfigurationError(
+                f"jitter must be non-negative, got {self.jitter}"
+            )
 
-    def delay(self, attempt: int) -> float:
+    def jitter_fraction(self, band_index: int, attempt: int) -> float:
+        """Deterministic uniform-ish fraction in ``[0, 1)`` per retry.
+
+        Hash-derived (sha256 of ``seed:band:attempt``) rather than
+        ``random``-derived so the value depends only on its key — no
+        global RNG state, identical across processes and re-runs.
+        """
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}:{band_index}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def delay(self, attempt: int, band_index: int = 0) -> float:
         """Backoff before re-dispatching after failed 0-based ``attempt``."""
-        return self.backoff * self.backoff_factor**attempt
+        base = self.backoff * self.backoff_factor**attempt
+        if self.jitter == 0.0:
+            return base
+        return base * (
+            1.0 + self.jitter * self.jitter_fraction(band_index, attempt)
+        )
 
 
 # ----------------------------------------------------------------------
@@ -390,7 +422,7 @@ def _finish_in_process(
             _record_failure(exc, stats)
         if attempt < policy.retries:
             stats.record("fault", "retried")
-            policy.sleep(policy.delay(attempt))
+            policy.sleep(policy.delay(attempt, band_index))
     stats.record("fault", "degraded")
     return _degraded_run(task, band_index, payload, policy, faults)
 
@@ -501,7 +533,10 @@ def _run_pool_rounds(
         pool.shutdown(wait=False, cancel_futures=True)
         if next_queue:
             policy.sleep(
-                max(policy.delay(attempt - 1) for _, _, attempt in next_queue)
+                max(
+                    policy.delay(attempt - 1, band_index)
+                    for band_index, _, attempt in next_queue
+                )
             )
         queue = next_queue
 

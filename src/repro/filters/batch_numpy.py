@@ -1,0 +1,550 @@
+"""Vectorized numpy batch kernels for the hot filters (optional backend).
+
+One probe string is refined against a *block* of candidates at once:
+the Theorem 4 CDF band DP runs over ``(num_candidates, band_width,
+k + 1)`` float arrays (candidate axis vectorized, the sequential
+row/slot dependency of the DP kept as a short python loop), and the
+Section 5 frequency bounds run over stacked ``(num_chars,
+num_candidates)`` count planes. This is the batch amortization that
+removes per-pair python overhead from the hot path — see DESIGN.md §6f.
+The kernels pay off on *large* blocks (dozens-plus candidates per
+probe); tiny blocks are dominated by per-ufunc dispatch overhead, which
+is why the ``python`` backend stays the default reference.
+
+**Bit-for-bit parity with the scalar kernels is a hard requirement**,
+enforced by ``tests/test_backend_parity.py``. Every arithmetic
+expression here replicates the scalar kernel's operation order exactly
+(numpy ufuncs are plain IEEE double ops, never fused), and the scalar
+fast paths are reproduced through identities that are exact in IEEE
+arithmetic:
+
+* the ``p1 == 1.0`` / ``p1 == 0.0`` DP shortcuts equal the general
+  transition because multiplying by 1.0, adding 0.0, and max/min
+  against an identity operand are exact on these non-negative values;
+* a candidate whose upper-bound row goes all-zero (the scalar early
+  abort) stays all-zero in every later row — the abort can only fire
+  once the boundary column has left the band — so batch lanes simply
+  keep computing zeros;
+* characters outside a pair's merged support contribute exactly
+  ``0.0`` to every frequency accumulator, so the block-union alphabet
+  walk reproduces the per-pair merged-support walk float-for-float,
+  and zero-mass pmf padding adds exact zeros.
+
+``numpy`` is imported lazily so this module can always be imported;
+call :func:`require_numpy` (or any kernel) to surface the missing
+dependency. Everything else in ``repro`` works without numpy.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Sequence
+
+from repro.filters.cdf import (
+    _Bounds,
+    _zero_cell,
+    agreement_from_entries,
+    cdf_bounds,
+)
+from repro.filters.frequency import FrequencyProfile, chebyshev_upper_bound
+from repro.uncertain.string import UncertainString
+
+_np: Any = None
+
+
+def require_numpy() -> Any:
+    """The numpy module, or raise ``ImportError`` if it is not installed."""
+    global _np
+    if _np is None:
+        _np = importlib.import_module("numpy")
+    return _np
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy dependency can be imported."""
+    try:
+        require_numpy()
+    except ImportError:
+        return False
+    return True
+
+
+def _lex_gt(np: Any, lanes: Any, a: Any, b: Any) -> Any:
+    """Rowwise lexicographic ``a > b`` for ``(C, k+1)`` arrays.
+
+    Mirrors the scalar argmin-D_i scan: the winner is decided by the
+    first column where the rows differ (``argmax`` over the inequality
+    mask finds it; rows with no difference compare not-greater).
+    """
+    unequal = a != b
+    first = unequal.argmax(axis=1)
+    return (a[lanes, first] > b[lanes, first]) & unequal.any(axis=1)
+
+
+def _codes_matrix(np: Any, tables: Sequence[Sequence[object]]) -> Any:
+    """Per-position char codes, padded: ``ord(char)`` for a certain
+    position, ``-1`` for an uncertain one, ``-2`` past a string's end."""
+    m_max = max((len(table) for table in tables), default=0)
+    codes = np.full((len(tables), m_max), -2, dtype=np.int64)
+    for ci, table in enumerate(tables):
+        if table:
+            codes[ci, : len(table)] = [
+                ord(entry) if type(entry) is str else -1 for entry in table
+            ]
+    return codes
+
+
+def _agreement_block(
+    np: Any,
+    left_table: Sequence[object],
+    tables: Sequence[Sequence[object]],
+    k: int,
+) -> Any:
+    """``p1`` per banded cell: shape ``(C, n, width)``.
+
+    ``p1_block[c, x - 1, s]`` is ``Pr(R[x] = S_c[y])`` for ``y = x + s -
+    (k + 1)``; cells outside a candidate's matrix hold zeros (the DP
+    masks them out). Three fill passes, cheapest first: certain×certain
+    cells from one vectorized code comparison per band slot; probe-
+    uncertain cells from a dense pdf-over-codes gather (a python loop
+    per uncertain *probe* position, not per candidate); the remaining
+    cells touching an uncertain candidate position from the exact
+    scalar accumulation (:func:`repro.filters.cdf.agreement_from_entries`).
+    """
+    n = len(left_table)
+    count = len(tables)
+    k1 = k + 1
+    width = 2 * k + 3
+    block = np.zeros((count, n, width), dtype=np.float64)
+    if n == 0 or count == 0:
+        return block
+    codes = _codes_matrix(np, tables)
+    m_max = codes.shape[1]
+    left_codes = np.array(
+        [ord(entry) if type(entry) is str else -1 for entry in left_table],
+        dtype=np.int64,
+    )
+    for s in range(1, 2 * k + 2):
+        offset = s - k1  # 0-indexed diagonal: (y - 1) - (x - 1)
+        i0 = max(0, -offset)
+        i1 = min(n, m_max - offset)
+        if i1 <= i0:
+            continue
+        rows = np.arange(i0, i1)
+        cand = codes[:, rows + offset]
+        probe = left_codes[rows]
+        block[:, rows, s] = (cand == probe[None, :]) & (probe[None, :] >= 0)
+    max_code = int(codes.max())
+    for i, entry in enumerate(left_table):
+        if type(entry) is str:
+            continue
+        pdf = entry[2]  # type: ignore[index]
+        vec = np.zeros(max(max_code, 0) + 1, dtype=np.float64)
+        for char, value in pdf.items():
+            code = ord(char)
+            if code <= max_code:
+                vec[code] = value
+        for s in range(1, 2 * k + 2):
+            j = i + s - k1
+            if not 0 <= j < m_max:
+                continue
+            column = codes[:, j]
+            block[:, i, s] = np.where(
+                column >= 0, vec[np.clip(column, 0, None)], 0.0
+            )
+    # Cells whose *candidate* side is uncertain: per-cell exact p1
+    # (covers uncertain×uncertain, overwriting the pass above).
+    for ci, table in enumerate(tables):
+        for j, entry in enumerate(table):
+            if type(entry) is str:
+                continue
+            pdf = entry[2]  # type: ignore[index]
+            for s in range(1, 2 * k + 2):
+                i = j - (s - k1)
+                if not 0 <= i < n:
+                    continue
+                left_entry = left_table[i]
+                if type(left_entry) is str:
+                    block[ci, i, s] = pdf.get(left_entry, 0.0)
+                else:
+                    block[ci, i, s] = agreement_from_entries(left_entry, entry)
+    return block
+
+
+def cdf_bounds_batch_numpy(
+    left: UncertainString,
+    rights: Sequence[UncertainString],
+    k: int,
+    left_features: "object | None" = None,
+    right_features: "Sequence[object | None] | None" = None,
+) -> list[_Bounds]:
+    """Batched Theorem 4 bounds, bit-identical to the scalar kernel.
+
+    The certain×certain pairs (and length-gap rejects) short-circuit
+    through the scalar fast path exactly as :func:`cdf_bounds` does;
+    every remaining candidate runs through one vectorized band DP.
+    """
+    np = require_numpy()
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    n = len(left)
+    if left_features is not None:
+        left_certain = left_features.is_certain  # type: ignore[attr-defined]
+    else:
+        left_certain = left.is_certain
+    results: list[_Bounds | None] = [None] * len(rights)
+    dp_indices: list[int] = []
+    for i, right in enumerate(rights):
+        features = right_features[i] if right_features is not None else None
+        if abs(n - len(right)) > k:
+            results[i] = _zero_cell(k)
+            continue
+        if features is not None:
+            right_certain = features.is_certain  # type: ignore[attr-defined]
+        else:
+            right_certain = right.is_certain
+        if left_certain and right_certain:
+            results[i] = cdf_bounds(left, right, k, left_features, features)
+            continue
+        dp_indices.append(i)
+    if not dp_indices:
+        return results  # type: ignore[return-value]
+
+    left_table = left.agreement_table()
+    tables = [rights[i].agreement_table() for i in dp_indices]
+    count = len(dp_indices)
+    k1 = k + 1
+    width = 2 * k + 3
+    lanes = np.arange(count)
+    m_arr = np.array([len(rights[i]) for i in dp_indices], dtype=np.int64)
+    p1_block = _agreement_block(np, left_table, tables, k)
+    p2_block = 1.0 - p1_block
+
+    # boundary[d, j] = 1.0 if j >= d (the Theorem 4 boundary cells).
+    boundary = np.zeros((k1, k1), dtype=np.float64)
+    for d in range(k1):
+        boundary[d, d:] = 1.0
+
+    shape = (count, width, k1)
+    prev_l = np.zeros(shape, dtype=np.float64)
+    prev_u = np.zeros(shape, dtype=np.float64)
+    cur_l = np.zeros(shape, dtype=np.float64)
+    cur_u = np.zeros(shape, dtype=np.float64)
+
+    # Row x = 0: boundary cells (0, y) for y <= min(m, k).
+    for y in range(k1):
+        mask = m_arr >= y
+        prev_l[mask, y + k1, :] = boundary[y]
+        prev_u[mask, y + k1, :] = boundary[y]
+
+    # Lanes whose candidate ends before column y: the cell stays zero,
+    # like the scalar row reset leaves it.
+    valid_by_y: dict[int, Any] = {}
+    new_l = np.empty((count, k1), dtype=np.float64)
+    new_u = np.empty((count, k1), dtype=np.float64)
+    for x in range(1, n + 1):
+        cur_l[:] = 0.0
+        cur_u[:] = 0.0
+        if x <= k:
+            # Boundary cell (x, 0); its slot k1 - x only coincides with
+            # loop slots at y = 0, which the loop skips — no overwrite.
+            cur_l[:, k1 - x, :] = boundary[x]
+            cur_u[:, k1 - x, :] = boundary[x]
+        for s in range(1, 2 * k + 2):
+            y = x + s - k1
+            if y < 1:
+                continue
+            valid = valid_by_y.get(y)
+            if valid is None:
+                valid = y <= m_arr
+                valid_by_y[y] = valid
+            all_valid = bool(valid.all())
+            if not all_valid and not valid.any():
+                continue
+            p1 = p1_block[:, x - 1, s]
+            p2 = p2_block[:, x - 1, s]
+            diag_l = prev_l[:, s, :]
+            diag_u = prev_u[:, s, :]
+            up_l = cur_l[:, s - 1, :]
+            side_l = prev_l[:, s + 1, :]
+            # argmin D_i: lexicographically greatest L among the three
+            # neighbors, ties resolved diag → up → side like the scalar.
+            best = np.where(
+                _lex_gt(np, lanes, up_l, diag_l)[:, None], up_l, diag_l
+            )
+            best = np.where(
+                _lex_gt(np, lanes, side_l, best)[:, None], side_l, best
+            )
+            p1c = p1[:, None]
+            p2c = p2[:, None]
+            new_l[:, 0] = p1 * diag_l[:, 0]
+            new_u[:, 0] = p1 * diag_u[:, 0]
+            if k1 > 1:
+                new_l[:, 1:] = np.maximum(
+                    p1c * diag_l[:, 1:], p2c * best[:, :-1]
+                )
+                # Same association as the scalar transition:
+                # p1*D1 + ((p2*D1' + D2') + D3').
+                new_u[:, 1:] = p1c * diag_u[:, 1:] + (
+                    (p2c * diag_u[:, :-1] + cur_u[:, s - 1, :-1])
+                    + prev_u[:, s + 1, :-1]
+                )
+            np.minimum(new_u, 1.0, out=new_u)
+            if all_valid:
+                cur_l[:, s, :] = new_l
+                cur_u[:, s, :] = new_u
+            else:
+                valid_column = valid[:, None]
+                cur_l[:, s, :] = np.where(valid_column, new_l, 0.0)
+                cur_u[:, s, :] = np.where(valid_column, new_u, 0.0)
+        prev_l, cur_l = cur_l, prev_l
+        prev_u, cur_u = cur_u, prev_u
+
+    final_slot = (m_arr - n + k1).astype(np.intp)
+    final_l = prev_l[lanes, final_slot, :]
+    final_u = prev_u[lanes, final_slot, :]
+    for lane, i in enumerate(dp_indices):
+        results[i] = (
+            tuple(final_l[lane].tolist()),
+            tuple(final_u[lane].tolist()),
+        )
+    return results  # type: ignore[return-value]
+
+
+class _ProfilePlanes:
+    """Flattened per-profile count-distribution arrays (cached).
+
+    A candidate profile is re-assembled into block planes once per
+    *probe*; everything about the profile itself is probe-independent,
+    so it is flattened once and memoized on the profile
+    (``FrequencyProfile._plane_cache``). Element layout: ``rep`` maps
+    each flat pmf/tail element to its char index within the profile,
+    ``off`` is its offset inside that char's distribution.
+    """
+
+    __slots__ = (
+        "codes",
+        "cert",
+        "unc",
+        "sv0",
+        "pmf_flat",
+        "pmf_rep",
+        "pmf_off",
+        "tail_flat",
+        "tail_rep",
+        "tail_off",
+        "max_u",
+    )
+
+
+def _profile_planes(np: Any, profile: FrequencyProfile) -> _ProfilePlanes:
+    cached = profile._plane_cache
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    chars = profile.sorted_chars
+    dists = [profile.distribution(char) for char in chars]
+    planes = _ProfilePlanes()
+    planes.codes = np.array([ord(char) for char in chars], dtype=np.int64)
+    planes.cert = np.array([d.certain for d in dists], dtype=np.int64)
+    planes.unc = np.array([d.uncertain for d in dists], dtype=np.int64)
+    planes.sv0 = np.array([d.survival[0] for d in dists], dtype=np.float64)
+    pmf_rep: list[int] = []
+    pmf_off: list[int] = []
+    pmf_flat: list[float] = []
+    tail_rep: list[int] = []
+    tail_off: list[int] = []
+    tail_flat: list[float] = []
+    for idx, dist in enumerate(dists):
+        pmf = dist.pmf
+        pmf_rep.extend([idx] * len(pmf))
+        pmf_off.extend(range(len(pmf)))
+        pmf_flat.extend(pmf)
+        tail = dist.scaled_tail
+        tail_rep.extend([idx] * len(tail))
+        tail_off.extend(range(len(tail)))
+        tail_flat.extend(tail)
+    planes.pmf_rep = np.array(pmf_rep, dtype=np.intp)
+    planes.pmf_off = np.array(pmf_off, dtype=np.intp)
+    planes.pmf_flat = np.array(pmf_flat, dtype=np.float64)
+    planes.tail_rep = np.array(tail_rep, dtype=np.intp)
+    planes.tail_off = np.array(tail_off, dtype=np.intp)
+    planes.tail_flat = np.array(tail_flat, dtype=np.float64)
+    planes.max_u = int(planes.unc.max()) if dists else 0
+    profile._plane_cache = planes
+    return planes
+
+
+def frequency_bounds_batch_numpy(
+    left: FrequencyProfile,
+    rights: Sequence[FrequencyProfile],
+    k: int,
+) -> list[tuple[int, float]]:
+    """Batched Lemma 6 + Theorem 3 bounds over stacked count planes.
+
+    The block's count distributions are assembled once into
+    ``(num_chars, num_candidates)`` planes (plus pmf / S2 / S3 cubes),
+    then Lemma 6 runs in exact integer arithmetic and the
+    ``E[pD]``/``E[nD]`` expectations accumulate whole planes per pmf
+    offset. Per-character contributions are summed in ascending
+    character order — one vectorized add per character — matching the
+    scalar kernel's accumulation order exactly; characters outside a
+    pair's merged support contribute exact zeros. The final Chebyshev
+    bound reuses the scalar
+    :func:`~repro.filters.frequency.chebyshev_upper_bound` per lane so
+    its float expression is shared, not re-derived.
+    """
+    np = require_numpy()
+    count = len(rights)
+    if count == 0:
+        return []
+    support_set: set[str] = set(left.sorted_chars)
+    for right in rights:
+        support_set.update(right.sorted_chars)
+    support = sorted(support_set)
+    num_chars = len(support)
+    row_of = {char: row for row, char in enumerate(support)}
+
+    # Probe-side arrays over the union support (absent chars resolve to
+    # the EMPTY point-mass-at-0 distribution, exactly like the scalar
+    # profile lookup).
+    probe_dists = [left.distribution(char) for char in support]
+    probe_certain = np.array([d.certain for d in probe_dists], dtype=np.int64)
+    probe_uncertain = np.array(
+        [d.uncertain for d in probe_dists], dtype=np.int64
+    )
+    probe_total = probe_certain + probe_uncertain
+    max_probe_pmf = max(len(d.pmf) for d in probe_dists)
+    max_probe_u = int(probe_uncertain.max())
+    probe_pmf = np.zeros((num_chars, max_probe_pmf), dtype=np.float64)
+    probe_tail = np.zeros((num_chars, max_probe_u + 1), dtype=np.float64)
+    probe_sv0 = np.zeros(num_chars, dtype=np.float64)
+    for row, dist in enumerate(probe_dists):
+        probe_pmf[row, : len(dist.pmf)] = dist.pmf
+        tail = dist.scaled_tail
+        probe_tail[row, : len(tail)] = tail
+        probe_sv0[row] = dist.survival[0]
+
+    # Candidate-side planes: each profile's flattened arrays come from
+    # its memoized :class:`_ProfilePlanes` (built once per profile, not
+    # once per probe block), get their char rows mapped onto the block
+    # support with one ``searchsorted`` per candidate, and land in the
+    # planes via one fancy-index scatter per array. Absent
+    # (char, candidate) slots keep the EMPTY distribution's values:
+    # certain 0, pmf (1.0,), S2/S3 zeros.
+    planes = [_profile_planes(np, right) for right in rights]
+    max_u = 0
+    for plane in planes:
+        if plane.max_u > max_u:
+            max_u = plane.max_u
+    stride = max_u + 1
+    support_codes = np.array([ord(char) for char in support], dtype=np.int64)
+    rows_per = [
+        np.searchsorted(support_codes, plane.codes) for plane in planes
+    ]
+    char_counts = np.array([len(plane.codes) for plane in planes], dtype=np.intp)
+    rows_concat = np.concatenate(rows_per)
+    cols_concat = np.repeat(np.arange(count), char_counts)
+    certain_mat = np.zeros((num_chars, count), dtype=np.int64)
+    uncertain_mat = np.zeros((num_chars, count), dtype=np.int64)
+    sv0_mat = np.zeros((num_chars, count), dtype=np.float64)
+    tail_cube = np.zeros((num_chars, count, stride), dtype=np.float64)
+    pmf_cube = np.zeros((num_chars, count, stride), dtype=np.float64)
+    pmf_cube[:, :, 0] = 1.0  # EMPTY pmf for absent chars
+    if rows_concat.size:
+        certain_mat[rows_concat, cols_concat] = np.concatenate(
+            [plane.cert for plane in planes]
+        )
+        uncertain_mat[rows_concat, cols_concat] = np.concatenate(
+            [plane.unc for plane in planes]
+        )
+        sv0_mat[rows_concat, cols_concat] = np.concatenate(
+            [plane.sv0 for plane in planes]
+        )
+        # Start of each candidate's chars within rows_concat — lifts
+        # the per-profile `rep` element→char maps to block-global ones.
+        char_starts = np.zeros(count, dtype=np.intp)
+        np.cumsum(char_counts[:-1], out=char_starts[1:])
+        candidate_ids = np.arange(count)
+        for cube, flat_name, rep_name, off_name in (
+            (pmf_cube, "pmf_flat", "pmf_rep", "pmf_off"),
+            (tail_cube, "tail_flat", "tail_rep", "tail_off"),
+        ):
+            counts = np.array(
+                [len(getattr(plane, flat_name)) for plane in planes],
+                dtype=np.intp,
+            )
+            rep = np.concatenate(
+                [getattr(plane, rep_name) for plane in planes]
+            ) + np.repeat(char_starts, counts)
+            elem_rows = rows_concat[rep]
+            elem_cols = np.repeat(candidate_ids, counts)
+            positions = (elem_rows * count + elem_cols) * stride + (
+                np.concatenate([getattr(plane, off_name) for plane in planes])
+            )
+            cube.reshape(-1)[positions] = np.concatenate(
+                [getattr(plane, flat_name) for plane in planes]
+            )
+    total_mat = certain_mat + uncertain_mat
+    tail0_mat = tail_cube[:, :, 0]
+
+    # Lemma 6 — exact integers, so the summation order is irrelevant.
+    positive = np.maximum(probe_certain[:, None] - total_mat, 0).sum(axis=0)
+    negative = np.maximum(certain_mat - probe_total[:, None], 0).sum(axis=0)
+    lower_fd = np.maximum(positive, negative)
+
+    # E[nD]: probe pmf against each candidate's S2/S3. Lanes missing
+    # the character have all-zero tails, so every offset contributes an
+    # exact 0.0 — matching the scalar `total == 0` skip.
+    contrib_nd = np.zeros((num_chars, count), dtype=np.float64)
+    for offset in range(max_probe_pmf):
+        mass = probe_pmf[:, offset]
+        t = (probe_certain + (offset + 1))[:, None] - certain_mat
+        gathered = np.take_along_axis(
+            tail_cube, np.clip(t, 0, max_u)[:, :, None], axis=2
+        )[:, :, 0]
+        in_range = (t > 0) & (t <= uncertain_mat)
+        excess = np.where(
+            t <= 0,
+            tail0_mat + (-t) * sv0_mat,
+            np.where(in_range, gathered, 0.0),
+        )
+        contrib_nd = contrib_nd + mass[:, None] * excess
+
+    # E[pD]: each candidate's pmf (zero-mass padding adds exact zeros)
+    # against the probe's S2/S3; rows whose probe distribution is empty
+    # are masked off, matching the scalar skip.
+    contrib_pd = np.zeros((num_chars, count), dtype=np.float64)
+    probe_tail0 = probe_tail[:, 0]
+    for offset in range(max_u + 1):
+        mass = pmf_cube[:, :, offset]
+        t = (certain_mat + (offset + 1)) - probe_certain[:, None]
+        gathered = np.take_along_axis(
+            probe_tail, np.clip(t, 0, max_probe_u), axis=1
+        )
+        in_range = (t > 0) & (t <= probe_uncertain[:, None])
+        excess = np.where(
+            t <= 0,
+            probe_tail0[:, None] + (-t) * probe_sv0[:, None],
+            np.where(in_range, gathered, 0.0),
+        )
+        contrib_pd = contrib_pd + mass * excess
+    contrib_pd = np.where(probe_total[:, None] > 0, contrib_pd, 0.0)
+
+    # Cross-character accumulation: ascending character order, one
+    # sequential add per character — the scalar `total += contribution`.
+    expected_nd = np.zeros(count, dtype=np.float64)
+    expected_pd = np.zeros(count, dtype=np.float64)
+    for row in range(num_chars):
+        expected_nd = expected_nd + contrib_nd[row]
+        expected_pd = expected_pd + contrib_pd[row]
+
+    rows: list[tuple[int, float]] = []
+    for ci, right in enumerate(rights):
+        upper = chebyshev_upper_bound(
+            left,
+            right,
+            k,
+            expectations=(float(expected_pd[ci]), float(expected_nd[ci])),
+        )
+        rows.append((int(lower_fd[ci]), upper))
+    return rows

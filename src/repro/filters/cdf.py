@@ -42,13 +42,25 @@ all exact in IEEE arithmetic).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from typing import Sequence
+
 from repro.distance.edit import edit_distance_banded
 from repro.filters.base import FilterDecision, FilterVerdict
 from repro.uncertain.string import UncertainString
 
 _Bounds = tuple[tuple[float, ...], tuple[float, ...]]
 
-_BOUNDARY_CACHE: dict[tuple[int, int], _Bounds] = {}
+#: Entry caps for the process-global memo tables below. The values are
+#: pure functions of their keys, so eviction can never change a result —
+#: only the cost of rebuilding a tuple. The caps exist because a
+#: long-lived process (a server, a parameter sweep) visits unboundedly
+#: many ``(distance, k)`` pairs over its lifetime; before they were
+#: added the caches grew forever.
+_BOUNDARY_CACHE_MAX = 4096
+_ZERO_CACHE_MAX = 64
+
+_BOUNDARY_CACHE: OrderedDict[tuple[int, int], _Bounds] = OrderedDict()
 
 
 def _boundary_cell(distance: int, k: int) -> _Bounds:
@@ -57,7 +69,9 @@ def _boundary_cell(distance: int, k: int) -> _Bounds:
     Memoized per ``(distance, k)`` — every pair at threshold ``k`` reads
     the same ``O(|R| + |S|)`` boundary cells, so building the tuples
     once per process (like :func:`_zero_cell`) removes them from the
-    per-pair cost entirely.
+    per-pair cost entirely. The memo is LRU-bounded at
+    :data:`_BOUNDARY_CACHE_MAX` entries so sweeping many ``(distance,
+    k)`` pairs cannot grow it without bound.
     """
     key = (distance, k)
     cached = _BOUNDARY_CACHE.get(key)
@@ -65,20 +79,66 @@ def _boundary_cell(distance: int, k: int) -> _Bounds:
         values = tuple(1.0 if j >= distance else 0.0 for j in range(k + 1))
         cached = (values, values)
         _BOUNDARY_CACHE[key] = cached
+        if len(_BOUNDARY_CACHE) > _BOUNDARY_CACHE_MAX:
+            _BOUNDARY_CACHE.popitem(last=False)
+    else:
+        _BOUNDARY_CACHE.move_to_end(key)
     return cached
 
 
-_ZERO_CACHE: dict[int, _Bounds] = {}
+_ZERO_CACHE: OrderedDict[int, _Bounds] = OrderedDict()
 
 
 def _zero_cell(k: int) -> _Bounds:
-    """Out-of-band cell: ``Pr(ed <= j <= k) = 0``."""
+    """Out-of-band cell: ``Pr(ed <= j <= k) = 0`` (LRU-bounded memo)."""
     cached = _ZERO_CACHE.get(k)
     if cached is None:
         zeros = tuple(0.0 for _ in range(k + 1))
         cached = (zeros, zeros)
         _ZERO_CACHE[k] = cached
+        if len(_ZERO_CACHE) > _ZERO_CACHE_MAX:
+            _ZERO_CACHE.popitem(last=False)
+    else:
+        _ZERO_CACHE.move_to_end(key=k)
     return cached
+
+
+def clear_cdf_caches() -> None:
+    """Per-run clear hook for the boundary/zero memo tables.
+
+    Long-lived processes (servers, sweep harnesses) may call this
+    between runs to return to a cold-cache footprint; results are
+    unaffected because both tables memoize pure functions.
+    """
+    _BOUNDARY_CACHE.clear()
+    _ZERO_CACHE.clear()
+
+
+def agreement_from_entries(left_entry: object, right_entry: object) -> float:
+    """``p1 = Pr(R[x] = S[y])`` from two agreement-table entries.
+
+    Exactly the accumulation the scalar DP inlines (same branch on the
+    smaller support, same left-to-right sum order), factored out so the
+    batch backends produce bit-identical ``p1`` values. Entries are a
+    ``str`` for a certain position or ``(chars, probs, pdf)`` for an
+    uncertain one (:meth:`UncertainString.agreement_table` layout).
+    """
+    if type(left_entry) is str:
+        if type(right_entry) is str:
+            return 1.0 if left_entry == right_entry else 0.0
+        return right_entry[2].get(left_entry, 0.0)  # type: ignore[index]
+    if type(right_entry) is str:
+        return left_entry[2].get(right_entry, 0.0)  # type: ignore[index]
+    l_chars, l_probs, l_pdf = left_entry  # type: ignore[misc]
+    r_chars, r_probs, r_pdf = right_entry  # type: ignore[misc]
+    p1 = 0.0
+    if len(l_chars) > len(r_chars):
+        for char, prob in zip(r_chars, r_probs):
+            p1 += prob * l_pdf.get(char, 0.0)
+    else:
+        for char, prob in zip(l_chars, l_probs):
+            p1 += prob * r_pdf.get(char, 0.0)
+    return p1
 
 
 def cdf_bounds(
@@ -272,6 +332,28 @@ def cdf_bounds(
         tuple(prev_l[base : base + k1]),
         tuple(prev_u[base : base + k1]),
     )
+
+
+def cdf_bounds_batch(
+    left: UncertainString,
+    rights: Sequence[UncertainString],
+    k: int,
+    left_features: "object | None" = None,
+    right_features: "Sequence[object | None] | None" = None,
+) -> list[_Bounds]:
+    """Theorem 4 bounds for one probe against a block of candidates.
+
+    The pure-python reference batch entry point: a scalar
+    :func:`cdf_bounds` call per candidate, in order. Backends (see
+    :mod:`repro.core.backends`) override this with vectorized kernels
+    that must reproduce its floats bit-for-bit.
+    """
+    if right_features is None:
+        return [cdf_bounds(left, right, k, left_features) for right in rights]
+    return [
+        cdf_bounds(left, right, k, left_features, features)
+        for right, features in zip(rights, right_features)
+    ]
 
 
 class CdfBoundFilter:

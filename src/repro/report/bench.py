@@ -39,10 +39,27 @@ BenchFn = Callable[[], Any]
 
 @dataclass(frozen=True)
 class KernelCase:
-    """One micro-benchmark: ``setup()`` → (callable, logical ops per call)."""
+    """One micro-benchmark: ``setup()`` → (callable, logical ops per call).
+
+    ``requires`` names an optional dependency (currently only
+    ``"numpy"``); when it is unavailable the runner records the case
+    under ``skipped_kernels`` instead of failing, and the regression
+    gate tolerates its absence.
+    """
 
     name: str
     setup: Callable[[], tuple[BenchFn, int]]
+    requires: str | None = None
+
+
+def _requirement_available(requirement: str | None) -> bool:
+    if requirement is None:
+        return True
+    if requirement == "numpy":
+        from repro.filters.batch_numpy import numpy_available
+
+        return numpy_available()
+    return False
 
 
 def _dblp(size: int, theta: float = 0.2, cap: int = 8):
@@ -130,6 +147,72 @@ def _setup_frequency_filter() -> tuple[BenchFn, int]:
     return run, len(pairs)
 
 
+def _batch_workload(k: int = 2, size: int = 900, cap: int = 240):
+    """One uncertain probe + a large length-eligible candidate block.
+
+    The batch kernels amortize per-pair python overhead across a block,
+    so they are measured where the engine actually uses them: one probe
+    refined against a couple hundred candidates at once.
+    """
+    collection = _dblp(size, theta=0.3)
+    probe = next(s for s in collection if not s.is_certain)
+    block = [s for s in collection if abs(len(s) - len(probe)) <= k][:cap]
+    return probe, block
+
+
+def _setup_cdf_batch_python() -> tuple[BenchFn, int]:
+    """Reference block CDF kernel (python backend)."""
+    from repro.filters.cdf import cdf_bounds_batch
+
+    probe, block = _batch_workload()
+
+    def run():
+        cdf_bounds_batch(probe, block, 2)
+
+    return run, len(block)
+
+
+def _setup_cdf_batch_numpy() -> tuple[BenchFn, int]:
+    """Vectorized block CDF kernel (numpy backend)."""
+    from repro.filters.batch_numpy import cdf_bounds_batch_numpy
+
+    probe, block = _batch_workload()
+
+    def run():
+        cdf_bounds_batch_numpy(probe, block, 2)
+
+    return run, len(block)
+
+
+def _setup_frequency_batch_python() -> tuple[BenchFn, int]:
+    """Reference block frequency kernel (python backend)."""
+    from repro.filters.frequency import FrequencyProfile, frequency_bounds_batch
+
+    probe, block = _batch_workload()
+    left = FrequencyProfile(probe)
+    rights = [FrequencyProfile(s) for s in block]
+
+    def run():
+        frequency_bounds_batch(left, rights, 2)
+
+    return run, len(block)
+
+
+def _setup_frequency_batch_numpy() -> tuple[BenchFn, int]:
+    """Vectorized block frequency kernel (numpy backend)."""
+    from repro.filters.batch_numpy import frequency_bounds_batch_numpy
+    from repro.filters.frequency import FrequencyProfile
+
+    probe, block = _batch_workload()
+    left = FrequencyProfile(probe)
+    rights = [FrequencyProfile(s) for s in block]
+
+    def run():
+        frequency_bounds_batch_numpy(left, rights, 2)
+
+    return run, len(block)
+
+
 def _setup_profile_build() -> tuple[BenchFn, int]:
     from repro.filters.frequency import FrequencyProfile
 
@@ -164,7 +247,31 @@ KERNELS: tuple[KernelCase, ...] = (
     KernelCase("frequency_filter", _setup_frequency_filter),
     KernelCase("profile_build", _setup_profile_build),
     KernelCase("trie_verify_pair", _setup_trie_verify_pair),
+    KernelCase("cdf_batch_python", _setup_cdf_batch_python),
+    KernelCase("cdf_batch_numpy", _setup_cdf_batch_numpy, requires="numpy"),
+    KernelCase("frequency_batch_python", _setup_frequency_batch_python),
+    KernelCase(
+        "frequency_batch_numpy", _setup_frequency_batch_numpy, requires="numpy"
+    ),
 )
+
+#: batch-kernel pairs whose ratio becomes ``backend_speedup[<filter>]``.
+_BACKEND_PAIRS: tuple[tuple[str, str, str], ...] = (
+    ("cdf_filter", "cdf_batch_python", "cdf_batch_numpy"),
+    ("frequency_filter", "frequency_batch_python", "frequency_batch_numpy"),
+)
+
+
+def backend_speedups(kernels: dict) -> dict[str, float]:
+    """python-backend ns/op over numpy-backend ns/op per filter stage
+    (> 1 means the numpy backend is faster on the block workload)."""
+    out: dict[str, float] = {}
+    for target, python_name, numpy_name in _BACKEND_PAIRS:
+        python_row = kernels.get(python_name)
+        numpy_row = kernels.get(numpy_name)
+        if python_row and numpy_row and numpy_row["ns_per_op"] > 0:
+            out[target] = python_row["ns_per_op"] / numpy_row["ns_per_op"]
+    return out
 
 
 def measure_kernel(case: KernelCase, min_seconds: float = MIN_MEASURE_SECONDS) -> dict:
@@ -226,7 +333,15 @@ def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict
     min_seconds = 0.1 if quick else MIN_MEASURE_SECONDS
     join_size = JOIN_SIZE // 2 if quick else JOIN_SIZE
     kernels = {}
+    skipped: list[str] = []
     for case in KERNELS:
+        if not _requirement_available(case.requires):
+            skipped.append(case.name)
+            print(
+                f"[bench] {case.name}: skipped (requires {case.requires})",
+                file=sys.stderr,
+            )
+            continue
         kernels[case.name] = measure_kernel(case, min_seconds)
         print(
             f"[bench] {case.name}: {kernels[case.name]['ns_per_op']:.0f} ns/op",
@@ -247,6 +362,8 @@ def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict
         "schema": 1,
         "quick": quick,
         "kernels": kernels,
+        "skipped_kernels": skipped,
+        "backend_speedup": backend_speedups(kernels),
         "join": joins,
     }
 
@@ -267,8 +384,31 @@ def compute_speedups(before: dict, after: dict) -> dict:
     return speedups
 
 
+def unbaselined_entries(current: dict, baseline: dict) -> list[str]:
+    """Entries measured in ``current`` that ``baseline`` never recorded.
+
+    These are exactly the measurements the gate cannot gate: a kernel
+    or join added without re-recording the baseline would ship with no
+    regression protection at all.
+    """
+    missing = [
+        f"kernel {name}"
+        for name in current.get("kernels", {})
+        if name not in baseline.get("kernels", {})
+    ]
+    missing.extend(
+        f"join {name}"
+        for name in current.get("join", {})
+        if name not in baseline.get("join", {})
+    )
+    return missing
+
+
 def check_regressions(
-    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    allow_new_kernels: bool = False,
 ) -> list[str]:
     """Regression messages vs. ``baseline`` (empty = gate passes).
 
@@ -276,11 +416,29 @@ def check_regressions(
     committed ns/op; a join fails when throughput drops below
     ``1 / tolerance`` of the committed pairs/sec. The generous default
     absorbs CI-machine noise while still catching real regressions.
+
+    The gate walks *both* directions: baseline entries must appear in
+    the current run (unless the run recorded them under
+    ``skipped_kernels`` — a missing optional dependency), and current
+    entries must have a baseline to gate against. The gate used to
+    iterate only the baseline, so a newly added kernel silently ran
+    ungated forever; now an unbaselined measurement fails the check
+    unless ``allow_new_kernels`` is set (the escape hatch for the PR
+    that re-records the baseline).
     """
     failures: list[str] = []
+    skipped = set(current.get("skipped_kernels", ()))
+    if not allow_new_kernels:
+        failures.extend(
+            f"{entry}: no baseline entry (re-record the baseline or pass "
+            "--allow-new-kernels)"
+            for entry in unbaselined_entries(current, baseline)
+        )
     for name, row in baseline.get("kernels", {}).items():
         measured = current.get("kernels", {}).get(name)
         if measured is None:
+            if name in skipped:
+                continue
             failures.append(f"kernel {name}: missing from current run")
             continue
         if measured["ns_per_op"] > row["ns_per_op"] * tolerance:
@@ -334,6 +492,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=DEFAULT_TOLERANCE,
         help=f"--check slowdown tolerance (default {DEFAULT_TOLERANCE:g}x)",
     )
+    parser.add_argument(
+        "--allow-new-kernels",
+        action="store_true",
+        help="let --check pass when the run measures kernels/joins the "
+        "baseline has no entry for (use when re-recording the baseline)",
+    )
     args = parser.parse_args(argv)
 
     document = run_suite(quick=args.quick)
@@ -353,7 +517,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.check:
         with open(args.check, encoding="utf-8") as handle:
             committed = json.load(handle)
-        failures = check_regressions(document, committed, args.tolerance)
+        if args.allow_new_kernels:
+            for entry in unbaselined_entries(document, committed):
+                print(f"[bench] NEW (unbaselined): {entry}", file=sys.stderr)
+        failures = check_regressions(
+            document,
+            committed,
+            args.tolerance,
+            allow_new_kernels=args.allow_new_kernels,
+        )
         for failure in failures:
             print(f"[bench] REGRESSION: {failure}", file=sys.stderr)
         if failures:
