@@ -1,0 +1,129 @@
+"""Shard-mode CI smoke: N CLI processes + merge == one serial join.
+
+Two layers, both fatal on mismatch:
+
+1. **Golden fixture, in-process** — the equivalence-spec self-join is
+   run as ``--shard 0/3 + 1/3 + 2/3`` through the shard backend and
+   ``merge_run``; the merged pairs must equal the committed
+   ``tests/data/golden_driver_outputs.json`` entry byte-for-byte.
+2. **Real CLI processes** — a generated collection is joined serially,
+   then as three separate ``repro-join join --shard i/3`` subprocess
+   invocations sharing one run directory, folded with
+   ``repro-join merge``, and the stdouts are diffed — under both the
+   ``fork`` and ``spawn`` start methods (skipping whichever the
+   platform lacks).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_shard.py
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import subprocess
+import sys
+import tempfile
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from repro.core.config import JoinConfig  # noqa: E402
+from repro.core.merge import merge_run  # noqa: E402
+from repro.core.parallel import parallel_similarity_join  # noqa: E402
+
+from tests import equivalence_spec as spec  # noqa: E402
+
+SHARDS = 3
+
+
+def check(label: str, condition: bool) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  {label:<52s} {status}")
+    if not condition:
+        sys.exit(1)
+
+
+def golden_in_process(tmp: Path) -> None:
+    golden = json.loads(
+        (REPO_ROOT / "tests" / "data" / "golden_driver_outputs.json")
+        .read_text()
+    )["QFCT-k2-probs"]["join"]
+    collection = spec.self_collection()
+    config = JoinConfig.for_algorithm(
+        "QFCT",
+        k=2,
+        tau=spec.TAU,
+        q=spec.Q,
+        report_probabilities=True,
+        workers=2,
+    )
+    run_dir = tmp / "golden-run"
+    for i in range(SHARDS):
+        parallel_similarity_join(
+            collection,
+            replace(
+                config, shard=f"{i}/{SHARDS}", checkpoint_dir=str(run_dir)
+            ),
+            use_processes=False,
+            min_parallel=0,
+        )
+    merged = merge_run(run_dir)
+    check(
+        f"golden fixture: merged {SHARDS} shards == committed pairs",
+        spec.encode_pairs(merged.pairs) == golden,
+    )
+
+
+def cli(*args: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    if completed.returncode != 0:
+        print(completed.stdout)
+        print(completed.stderr, file=sys.stderr)
+        sys.exit(f"repro-join {' '.join(args)} exited {completed.returncode}")
+    return completed.stdout
+
+
+def cli_processes(tmp: Path) -> None:
+    names = tmp / "names.txt"
+    cli("gen", "--kind", "dblp", "--count", "80", "--seed", "11",
+        "-o", str(names))
+    join = ("join", str(names), "-k", "2", "--tau", "0.1", "-q", "2",
+            "--probabilities")
+    serial = cli(*join)
+    check("serial CLI join produced pairs", bool(serial.strip()))
+    available = multiprocessing.get_all_start_methods()
+    for method in ("fork", "spawn"):
+        if method not in available:
+            print(f"  start method {method}: unavailable, skipped")
+            continue
+        run_dir = tmp / f"run-{method}"
+        for i in range(SHARDS):
+            out = cli(*join, "--workers", "2", "--mp-start", method,
+                      "--shard", f"{i}/{SHARDS}", "--resume", str(run_dir))
+            check(f"{method}: shard {i}/{SHARDS} keeps stdout clean",
+                  out == "")
+        merged = cli("merge", str(run_dir))
+        check(f"{method}: {SHARDS} shard processes + merge == serial",
+              merged == serial)
+
+
+def main() -> int:
+    print(f"shard smoke: {SHARDS}-way decomposition, fork + spawn")
+    with tempfile.TemporaryDirectory(prefix="shard-smoke-") as tmp:
+        golden_in_process(Path(tmp))
+        cli_processes(Path(tmp))
+    print("shard smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

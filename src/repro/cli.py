@@ -6,7 +6,11 @@ Four subcommands covering the end-to-end workflow on collection files
 * ``repro-join gen`` — generate a synthetic dataset (dblp-like or
   protein-like, Section 7 parameters).
 * ``repro-join join`` — self-join a collection under (k, tau)-matching
-  (``--stream`` prints pairs as the engine discovers them).
+  (``--stream`` prints pairs as the engine discovers them;
+  ``--shard i/N --resume DIR`` runs one slice of the band plan as its
+  own process, checkpointing into ``DIR``).
+* ``repro-join merge`` — fold a sharded (or flat ``--resume``) run
+  directory into the final pair list, identical to a serial join.
 * ``repro-join search`` — search a collection for strings similar to a
   query.
 * ``repro-join topk`` — the N most probably similar pairs (adaptive
@@ -20,6 +24,8 @@ Examples::
     repro-join gen --kind dblp --count 500 --theta 0.2 -o names.txt
     repro-join join names.txt -k 2 --tau 0.1 --stats
     repro-join join names.txt -k 2 --tau 0.1 --stream
+    repro-join join names.txt -k 2 --tau 0.1 --shard 0/3 --resume run/
+    repro-join merge run/
     repro-join search names.txt "jon{(a,0.7),(o,0.3)}than smith" -k 2 --tau 0.1
     repro-join topk names.txt -k 2 --count 10
     repro-join verify "banana" "ban{(a,0.7),(e,0.3)}na" -k 1
@@ -112,8 +118,24 @@ def _add_resilience_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="SPEC",
         help="deterministic fault plan for the band executor, e.g. "
-        "'crash@2x3,hang@0/1.5' (testing/benchmarks; never changes "
-        "results)",
+        "'crash@2x3,hang@0/1.5' or shard-qualified 'crash@s1:2x3' "
+        "(testing/benchmarks; never changes results)",
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only shard I of an N-way decomposition of the band "
+        "plan, checkpointing into the --resume directory; run all N "
+        "shards (any order, any machines sharing the directory), then "
+        "fold them with `repro-join merge RUN_DIR` (requires --resume)",
+    )
+    parser.add_argument(
+        "--mp-start",
+        default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for the worker pool "
+        "(default: platform default)",
     )
 
 
@@ -129,6 +151,8 @@ def _config(args: argparse.Namespace) -> JoinConfig:
         band_timeout=getattr(args, "band_timeout", None),
         checkpoint_dir=getattr(args, "resume", None),
         fault_spec=getattr(args, "inject_faults", None),
+        shard=getattr(args, "shard", None),
+        mp_start=getattr(args, "mp_start", None),
         backend=getattr(args, "backend", "python"),
     )
 
@@ -157,6 +181,26 @@ def _print_pair(pair) -> None:
 def _cmd_join(args: argparse.Namespace) -> int:
     collection = load_collection(args.collection)
     config = _config(args)
+    if config.shard is not None:
+        if args.stream:
+            print("--shard and --stream are incompatible", file=sys.stderr)
+            return 2
+        # The shard's outcome is partial (its slice of the band plan
+        # only), so pairs are NOT printed — `repro-join merge RUN_DIR`
+        # folds the shards and prints the full, serial-identical list.
+        outcome = similarity_join(collection, config)
+        shard_index, shard_count = config.shard_coordinates or (0, 1)
+        print(
+            f"shard {shard_index}/{shard_count} complete: "
+            f"{len(outcome.pairs)} pair(s) checkpointed under "
+            f"{config.checkpoint_dir}; fold with "
+            f"`repro-join merge {config.checkpoint_dir}` once all "
+            f"{shard_count} shards have run",
+            file=sys.stderr,
+        )
+        if args.stats:
+            print(outcome.stats.summary(), file=sys.stderr)
+        return 0
     if args.stream:
         # Pairs appear as the engine discovers them (discovery order,
         # not sorted) — flushed line by line for downstream consumers.
@@ -206,6 +250,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from repro.core.merge import merge_run
+
+    outcome = merge_run(args.run_dir)
+    for pair in outcome.pairs:
+        _print_pair(pair)
+    if args.stats:
+        print(outcome.stats.summary(), file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.report.bench import main as bench_main
 
@@ -247,6 +302,21 @@ def build_parser() -> argparse.ArgumentParser:
         "serial engine; ignores --workers)",
     )
     join.set_defaults(func=_cmd_join)
+
+    merge = commands.add_parser(
+        "merge",
+        help="fold a sharded (or flat --resume) run directory into the "
+        "final pair list, identical to a serial join",
+    )
+    merge.add_argument(
+        "run_dir",
+        help="directory every `join --shard i/N --resume RUN_DIR` "
+        "invocation wrote to",
+    )
+    merge.add_argument(
+        "--stats", action="store_true", help="print merged statistics"
+    )
+    merge.set_defaults(func=_cmd_merge)
 
     topk = commands.add_parser(
         "topk", help="the N most probably similar pairs (adaptive threshold)"

@@ -9,7 +9,18 @@ drivers are thin adapters over the streaming :class:`JoinEngine`;
 directly.
 """
 
+from repro.core.checkpoint import ShardCheckpointStore
 from repro.core.config import ALGORITHMS, JoinConfig
+from repro.core.dispatch import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardBackend,
+    effective_pool_width,
+    parse_shard,
+    resolve_execution_backend,
+    shard_slice,
+)
 from repro.core.errors import (
     BandTimeoutError,
     CheckpointCorruptError,
@@ -18,9 +29,11 @@ from repro.core.errors import (
     CorruptResultError,
     DatasetRecordError,
     ReproError,
+    ShardIncompleteError,
     WorkerCrashError,
 )
 from repro.core.executor import CheckpointStore, RetryPolicy, run_bands
+from repro.core.merge import merge_run
 from repro.core.results import JoinOutcome, JoinPair, SearchMatch, SearchOutcome
 from repro.core.stats import JoinStatistics
 from repro.core.engine import (
@@ -57,9 +70,20 @@ __all__ = [
     "CheckpointCorruptError",
     "CheckpointMismatchError",
     "DatasetRecordError",
+    "ShardIncompleteError",
     "RetryPolicy",
     "CheckpointStore",
+    "ShardCheckpointStore",
     "run_bands",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ShardBackend",
+    "resolve_execution_backend",
+    "effective_pool_width",
+    "parse_shard",
+    "shard_slice",
+    "merge_run",
     "JoinOutcome",
     "JoinPair",
     "JoinEngine",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Literal
 
+from repro.core.dispatch import parse_shard
 from repro.core.errors import ConfigurationError
 from repro.filters.alpha import GroupMode
 from repro.partition.selection import SELECTION_MODES, SelectionMode
@@ -82,8 +83,23 @@ class JoinConfig:
     fault_spec:
         Deterministic fault-injection plan for the band executor, in
         :meth:`repro.util.faults.FaultPlan.from_spec` syntax (e.g.
-        ``"crash@2x3,hang@0/1.5"``). Testing/benchmark hook; ``None``
-        (default) injects nothing and injection never changes results.
+        ``"crash@2x3,hang@0/1.5"``, shard-qualified ``"crash@s1:2"``).
+        Testing/benchmark hook; ``None`` (default) injects nothing and
+        injection never changes results.
+    shard:
+        ``"i/N"`` to run as shard ``i`` of an ``N``-way sharded join
+        (:class:`repro.core.dispatch.ShardBackend`): this invocation
+        executes only its contiguous slice of the band plan and
+        persists it under ``checkpoint_dir/shard-i/``; a later
+        ``repro-join merge`` folds the N shard directories into the
+        final result. Requires ``checkpoint_dir``. ``None`` (default)
+        runs the whole plan. Not fingerprinted: every shard of one run
+        (and the merge) shares one fingerprint.
+    mp_start:
+        Multiprocessing start method for the band worker pool
+        (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` (default)
+        uses the platform default. Runtime-only — results and
+        fingerprints never depend on it.
     backend:
         Batch-kernel execution backend (:mod:`repro.core.backends`):
         ``"python"`` (default) keeps the pinned scalar reference path,
@@ -109,6 +125,8 @@ class JoinConfig:
     band_timeout: float | None = None
     checkpoint_dir: str | None = None
     fault_spec: str | None = None
+    shard: str | None = None
+    mp_start: str | None = None
     backend: str = "python"
 
     def __post_init__(self) -> None:
@@ -161,6 +179,23 @@ class JoinConfig:
             FaultPlan.from_spec(self.fault_spec)
         except ValueError as exc:
             raise ConfigurationError(str(exc)) from None
+        if self.shard is not None:
+            parse_shard(self.shard)
+            if self.checkpoint_dir is None:
+                raise ConfigurationError(
+                    "shard mode requires a run directory: set "
+                    "checkpoint_dir (CLI --resume RUN_DIR) so shards "
+                    "share one partitioned checkpoint store"
+                )
+        if self.mp_start is not None and self.mp_start not in (
+            "fork",
+            "spawn",
+            "forkserver",
+        ):
+            raise ConfigurationError(
+                f"unknown mp_start {self.mp_start!r}; "
+                "choose from ['fork', 'forkserver', 'spawn']"
+            )
         if self.backend not in ("python", "numpy"):
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; "
@@ -177,6 +212,13 @@ class JoinConfig:
                 f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
             ) from None
         return cls(k=k, tau=tau, filters=filters, **overrides)
+
+    @property
+    def shard_coordinates(self) -> tuple[int, int] | None:
+        """``(shard_index, shard_count)`` parsed from :attr:`shard`."""
+        if self.shard is None:
+            return None
+        return parse_shard(self.shard)
 
     @property
     def uses_qgram(self) -> bool:

@@ -147,6 +147,29 @@ class CollectionContext:
             context._features[string_id] = features
         return context
 
+    @classmethod
+    def for_ids(
+        cls,
+        collection: Sequence[UncertainString],
+        ids: Iterable[int],
+        build_profiles: bool = True,
+    ) -> "CollectionContext":
+        """Eagerly build features for a subset of collection positions.
+
+        The sharded parallel driver publishes only the strings its
+        bands can touch (owned + halo); building features for just
+        those ``ids`` keeps the per-shard footprint proportional to the
+        shard, not the collection. Features stay keyed by the *global*
+        position, so :meth:`subcontext` re-keying works unchanged.
+        """
+        context = cls()
+        for string_id in ids:
+            features = StringFeatures(collection[string_id])
+            if build_profiles:
+                features.ensure_profile()
+            context._features[string_id] = features
+        return context
+
     def __len__(self) -> int:
         return len(self._features)
 

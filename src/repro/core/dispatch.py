@@ -1,0 +1,307 @@
+"""Pluggable execution backends for the banded parallel join.
+
+The band plan makes length bands independent fault domains; *how* those
+bands get executed is a separate decision from *what* each band
+computes. This module owns that decision behind one protocol:
+
+* :class:`SerialBackend` — every band in-process, in order. The
+  reference semantics.
+* :class:`ProcessPoolBackend` — the future-per-band
+  ``ProcessPoolExecutor`` path (extracted from the old hard-wired
+  driver), with all the PR-3 retry/timeout/degradation machinery.
+* :class:`ShardBackend` — one invocation owns a deterministic
+  contiguous slice of the band plan (``--shard i/N``), executes only
+  those bands (through an inner backend), and persists them to a
+  partitioned :class:`~repro.core.checkpoint.ShardCheckpointStore`;
+  a later ``merge`` step (:mod:`repro.core.merge`) folds the N shard
+  directories into one result. This lets a job array or N independent
+  OS processes run one join no single in-memory run could.
+
+All three funnel into :func:`repro.core.executor.run_bands`, so
+retry/timeout/fault-injection/checkpoint semantics are identical under
+every backend and sharded output stays byte-identical to serial.
+
+Shard ownership is *contiguous and deterministic*: shard ``i`` of ``N``
+over ``B`` bands owns ``range(i*B//N, (i+1)*B//N)`` (:func:`shard_slice`)
+— slices cover ``range(B)`` exactly once with no overlap for every
+``N``, and depend only on ``(B, i, N)``, never on runtime state, so two
+hosts computing the same decomposition always agree.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Callable, Protocol, Sequence
+
+from repro.core.checkpoint import BandResult, CheckpointStore
+from repro.core.errors import ConfigurationError
+from repro.core.stats import JoinStatistics
+from repro.util.faults import FaultPlan
+
+if TYPE_CHECKING:
+    from repro.core.executor import RetryPolicy
+
+#: A band task: module-level callable (pool-picklable) payload -> result.
+BandTask = Callable[[Any], BandResult]
+
+
+def effective_pool_width(workers: int, pending: int) -> int:
+    """The process-pool width actually used for ``pending`` bands.
+
+    Band count and ``workers`` set the ceiling; the host CPU count
+    clamps it. Extra processes on an oversubscribed host buy no
+    parallelism for CPU-bound bands — only fork and scheduling
+    overhead. This clamp is *runtime-only*: the band plan (and hence
+    results and checkpoint fingerprints) stays keyed to ``workers``, so
+    resuming on a host with fewer cores than ``--workers`` still
+    fingerprint-matches the original run.
+    """
+    return max(1, min(workers, pending, os.cpu_count() or 1))
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse a ``"i/N"`` shard spec into ``(shard_index, shard_count)``.
+
+    Raises :class:`ConfigurationError` for anything that is not
+    ``i/N`` with integer ``0 <= i < N`` and ``N >= 1``.
+    """
+    head, sep, tail = spec.partition("/")
+    if not sep or not head.isdigit() or not tail.isdigit():
+        raise ConfigurationError(
+            f"shard spec must look like 'i/N' (e.g. '0/3'), got {spec!r}"
+        )
+    index, count = int(head), int(tail)
+    if count < 1:
+        raise ConfigurationError(
+            f"shard count must be >= 1, got {count} in {spec!r}"
+        )
+    if index >= count:
+        raise ConfigurationError(
+            f"shard index must be in [0, {count}), got {index} in {spec!r}"
+        )
+    return index, count
+
+
+def shard_slice(total: int, shard_index: int, shard_count: int) -> range:
+    """Band indices owned by shard ``shard_index`` of ``shard_count``.
+
+    Contiguous, deterministic, and an exact partition: for any ``total``
+    and ``shard_count``, the ``shard_count`` ranges are disjoint and
+    their union is ``range(total)``, with sizes differing by at most
+    one. Depends only on its arguments, so every participant in a
+    sharded run computes identical ownership.
+    """
+    if shard_count < 1:
+        raise ConfigurationError(
+            f"shard count must be >= 1, got {shard_count}"
+        )
+    if not 0 <= shard_index < shard_count:
+        raise ConfigurationError(
+            f"shard index must be in [0, {shard_count}), got {shard_index}"
+        )
+    return range(
+        shard_index * total // shard_count,
+        (shard_index + 1) * total // shard_count,
+    )
+
+
+class ExecutionBackend(Protocol):
+    """How a planned set of bands gets executed.
+
+    Implementations must preserve the executor's contract exactly:
+    ``task(payload)`` returns ``(band_index, pairs, stats)``, results
+    come back sorted by band index, retry/timeout/fault semantics follow
+    ``policy``/``faults``, and completed bands are persisted to
+    ``checkpoint`` when one is given. A backend may execute a *subset*
+    of the payloads (sharding); callers must not assume every planned
+    band appears in the return value.
+    """
+
+    def execute(
+        self,
+        task: BandTask,
+        payloads: Sequence[tuple[int, Any]],
+        *,
+        policy: "RetryPolicy | None" = None,
+        stats: JoinStatistics | None = None,
+        faults: FaultPlan | None = None,
+        checkpoint: CheckpointStore | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+        mp_context: Any = None,
+    ) -> list[BandResult]:
+        """Execute (some of) ``payloads``; results sorted by band index."""
+        ...
+
+
+class SerialBackend:
+    """Run every band in-process, in order — the reference semantics.
+
+    Retries, degradation, fault injection, and checkpointing all still
+    apply (via the executor's in-process path); only the pool is gone.
+    """
+
+    def execute(
+        self,
+        task: BandTask,
+        payloads: Sequence[tuple[int, Any]],
+        *,
+        policy: "RetryPolicy | None" = None,
+        stats: JoinStatistics | None = None,
+        faults: FaultPlan | None = None,
+        checkpoint: CheckpointStore | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+        mp_context: Any = None,
+    ) -> list[BandResult]:
+        from repro.core.executor import run_bands
+
+        return run_bands(
+            task,
+            payloads,
+            workers=1,
+            use_processes=False,
+            policy=policy,
+            stats=stats,
+            faults=faults,
+            checkpoint=checkpoint,
+        )
+
+
+class ProcessPoolBackend:
+    """Future-per-band ``ProcessPoolExecutor`` dispatch.
+
+    The extracted PR-3 path: one future per band, worker-side deadlines
+    with a parent backstop, bounded retries with backoff, per-band
+    in-process degradation, and pool rebuild between retry rounds. Pool
+    width is clamped by :func:`effective_pool_width`.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}"
+            )
+        self.workers = workers
+
+    def execute(
+        self,
+        task: BandTask,
+        payloads: Sequence[tuple[int, Any]],
+        *,
+        policy: "RetryPolicy | None" = None,
+        stats: JoinStatistics | None = None,
+        faults: FaultPlan | None = None,
+        checkpoint: CheckpointStore | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+        mp_context: Any = None,
+    ) -> list[BandResult]:
+        from repro.core.executor import run_bands
+
+        return run_bands(
+            task,
+            payloads,
+            workers=self.workers,
+            use_processes=True,
+            policy=policy,
+            stats=stats,
+            faults=faults,
+            checkpoint=checkpoint,
+            initializer=initializer,
+            initargs=initargs,
+            mp_context=mp_context,
+        )
+
+
+class ShardBackend:
+    """Execute only this shard's contiguous slice of the band plan.
+
+    Ownership is :func:`shard_slice` over the payloads' *positions* in
+    the planned sequence (which for the join drivers equals the band
+    indices). Faults are narrowed to this shard
+    (:meth:`~repro.util.faults.FaultPlan.narrowed`), so a spec like
+    ``crash@s1:2x3`` fires only inside shard 1. The slice then runs on
+    ``inner`` — serial or pooled — with identical retry/checkpoint
+    semantics; the partitioned checkpoint store the driver passes in
+    keeps this shard's bands under ``shard-i/``.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        shard_count: int,
+        inner: ExecutionBackend,
+    ) -> None:
+        if shard_count < 1:
+            raise ConfigurationError(
+                f"shard count must be >= 1, got {shard_count}"
+            )
+        if not 0 <= shard_index < shard_count:
+            raise ConfigurationError(
+                f"shard index must be in [0, {shard_count}), "
+                f"got {shard_index}"
+            )
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.inner = inner
+
+    def owned_positions(self, total: int) -> range:
+        """Positions in the planned payload sequence this shard owns."""
+        return shard_slice(total, self.shard_index, self.shard_count)
+
+    def execute(
+        self,
+        task: BandTask,
+        payloads: Sequence[tuple[int, Any]],
+        *,
+        policy: "RetryPolicy | None" = None,
+        stats: JoinStatistics | None = None,
+        faults: FaultPlan | None = None,
+        checkpoint: CheckpointStore | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+        mp_context: Any = None,
+    ) -> list[BandResult]:
+        owned = self.owned_positions(len(payloads))
+        mine = [payloads[position] for position in owned]
+        if stats is not None:
+            stats.record("shard", "owned", len(mine))
+        narrowed = (
+            faults.narrowed(self.shard_index) if faults is not None else None
+        )
+        return self.inner.execute(
+            task,
+            mine,
+            policy=policy,
+            stats=stats,
+            faults=narrowed,
+            checkpoint=checkpoint,
+            initializer=initializer,
+            initargs=initargs,
+            mp_context=mp_context,
+        )
+
+
+def resolve_execution_backend(
+    *,
+    workers: int,
+    use_processes: bool,
+    shard: tuple[int, int] | None = None,
+) -> ExecutionBackend:
+    """Pick the backend for a run.
+
+    ``workers``/``use_processes`` choose serial vs pooled execution;
+    ``shard`` (as ``(index, count)``) wraps the choice in a
+    :class:`ShardBackend` that restricts execution to that shard's
+    slice of the plan.
+    """
+    inner: ExecutionBackend
+    if use_processes and workers > 1:
+        inner = ProcessPoolBackend(workers)
+    else:
+        inner = SerialBackend()
+    if shard is None:
+        return inner
+    shard_index, shard_count = shard
+    return ShardBackend(shard_index, shard_count, inner)

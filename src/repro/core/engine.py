@@ -79,14 +79,28 @@ class SegmentIndexSource:
     upper bounds for the chain to reuse.
     """
 
-    def __init__(self, config: JoinConfig) -> None:
+    def __init__(
+        self,
+        config: JoinConfig,
+        index: SegmentInvertedIndex | None = None,
+    ) -> None:
         self._k = config.k
-        self._index = SegmentInvertedIndex(
-            k=config.k,
-            q=config.q,
-            selection=config.selection,
-            group_mode=config.group_mode,
-            bound_mode=config.bound_mode,
+        # A preloaded ``index`` (a per-shard snapshot from
+        # repro.index.persistence) skips per-string segmentation: `add`
+        # still rebuilds the rank↔id and length bookkeeping — which
+        # requires the caller to replay the exact insertion order the
+        # snapshot was built under — but no postings are re-derived.
+        self._preloaded = index is not None
+        self._index = (
+            index
+            if index is not None
+            else SegmentInvertedIndex(
+                k=config.k,
+                q=config.q,
+                selection=config.selection,
+                group_mode=config.group_mode,
+                bound_mode=config.bound_mode,
+            )
         )
         self._rank_to_id: list[int] = []
         self._count_by_length: dict[int, int] = {}
@@ -103,8 +117,9 @@ class SegmentIndexSource:
         self, string_id: int, string: UncertainString, stats: JoinStatistics
     ) -> None:
         rank = len(self._rank_to_id)
-        with stats.timer("index"):
-            self._index.add(rank, string)
+        if not self._preloaded:
+            with stats.timer("index"):
+                self._index.add(rank, string)
         self._rank_to_id.append(string_id)
         length = len(string)
         self._count_by_length[length] = self._count_by_length.get(length, 0) + 1
@@ -166,10 +181,23 @@ class LengthBandSource:
         return [(self._rank_to_id[rank], None) for rank in ranks]
 
 
-def make_source(config: JoinConfig) -> CandidateSource:
-    """The candidate source ``config``'s filter stack calls for."""
+def make_source(
+    config: JoinConfig, index: SegmentInvertedIndex | None = None
+) -> CandidateSource:
+    """The candidate source ``config``'s filter stack calls for.
+
+    ``index`` hands a :class:`SegmentIndexSource` a preloaded segment
+    index (a persisted snapshot) instead of building one per string; it
+    is only meaningful for q-gram configs and must be ``None`` for
+    filter stacks without **Q**.
+    """
     if config.uses_qgram:
-        return SegmentIndexSource(config)
+        return SegmentIndexSource(config, index=index)
+    if index is not None:
+        raise ConfigurationError(
+            "a preloaded segment index requires the qgram filter "
+            f"(filters={config.filters!r} has no use for it)"
+        )
     return LengthBandSource(config.k)
 
 
@@ -203,6 +231,12 @@ class JoinEngine:
         certainty fast-path data), for engines that outlive one run
         over the same indexed strings — or parallel band engines
         reusing the parent process's finished features.
+    index:
+        Preloaded segment index (a per-shard snapshot from
+        :mod:`repro.index.persistence`) for q-gram configs; the caller
+        must then :meth:`add` the same strings in the same order the
+        snapshot was built under, which rebuilds the id bookkeeping
+        without re-segmenting any string.
     """
 
     def __init__(
@@ -212,6 +246,7 @@ class JoinEngine:
         tau: TauProvider | None = None,
         force_exact: bool = False,
         context: CollectionContext | None = None,
+        index: "SegmentInvertedIndex | None" = None,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else JoinStatistics()
@@ -221,7 +256,7 @@ class JoinEngine:
         # that re-reads τ between pulls.
         self._constant_tau = tau is None
         self.tau: TauProvider = tau if tau is not None else (lambda: config.tau)
-        self.source = make_source(config)
+        self.source = make_source(config, index=index)
         self.chain = StageChain(config, force_exact=force_exact, context=context)
         self._strings: dict[int, UncertainString] = {}
 

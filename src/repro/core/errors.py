@@ -120,6 +120,47 @@ class CheckpointMismatchError(ReproError):
         return type(self), (self.path, self.detail)
 
 
+class ShardIncompleteError(ReproError):
+    """A sharded run cannot be merged yet — some shard has not finished.
+
+    Raised by the merge step when a shard directory or manifest is
+    missing, or when a shard's checkpoints do not cover every band it
+    owns. ``run_dir`` names the run; ``shard_index`` the offending
+    shard (``None`` when the run-level manifest itself is missing);
+    ``missing`` lists the absent band indices (empty when the whole
+    shard is absent).
+    """
+
+    def __init__(
+        self,
+        run_dir: str,
+        shard_index: int | None,
+        missing: tuple[int, ...],
+        detail: str,
+    ) -> None:
+        where = (
+            f"shard {shard_index}" if shard_index is not None else "run"
+        )
+        super().__init__(f"{run_dir}: {where} incomplete: {detail}")
+        self.run_dir = run_dir
+        self.shard_index = shard_index
+        self.missing = missing
+        self.detail = detail
+
+    def __reduce__(
+        self,
+    ) -> tuple[
+        type["ShardIncompleteError"],
+        tuple[str, "int | None", tuple[int, ...], str],
+    ]:
+        return type(self), (
+            self.run_dir,
+            self.shard_index,
+            self.missing,
+            self.detail,
+        )
+
+
 class DatasetRecordError(ReproError, ValueError):
     """One malformed record in a collection file.
 

@@ -36,9 +36,6 @@ retry loop, and degradation.
 from __future__ import annotations
 
 import hashlib
-import json
-import os
-import pickle
 import signal
 import threading
 import time
@@ -47,25 +44,28 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
 
+# Checkpoint persistence lives in repro.core.checkpoint; the re-exports
+# keep the historical ``from repro.core.executor import CheckpointStore``
+# import path working.
+from repro.core.checkpoint import (  # noqa: F401  (compat re-exports)
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    BandResult,
+    CheckpointStore,
+    ShardCheckpointStore,
+    _atomic_write_bytes,
+)
+from repro.core.dispatch import BandTask, effective_pool_width
 from repro.core.errors import (
     BandTimeoutError,
-    CheckpointCorruptError,
-    CheckpointMismatchError,
     ConfigurationError,
     CorruptResultError,
     WorkerCrashError,
 )
-from repro.core.results import JoinPair
 from repro.core.stats import JoinStatistics
 from repro.util.faults import FaultPlan, inject
-
-#: What a band task returns: ``(band_index, owned pairs, band stats)``.
-BandResult = tuple[int, list[JoinPair], JoinStatistics]
-#: A band task: module-level callable (pool-picklable) payload -> result.
-BandTask = Callable[[Any], BandResult]
 
 #: Sentinel head of the garbage tuple a ``corrupt`` fault returns.
 _CORRUPT_SENTINEL = "__corrupt-band-result__"
@@ -139,156 +139,6 @@ class RetryPolicy:
         return base * (
             1.0 + self.jitter * self.jitter_fraction(band_index, attempt)
         )
-
-
-# ----------------------------------------------------------------------
-# checkpoint store
-# ----------------------------------------------------------------------
-
-#: Bump when the band checkpoint layout changes incompatibly.
-CHECKPOINT_MAGIC = "repro-band-checkpoint"
-CHECKPOINT_VERSION = 1
-_MANIFEST_NAME = "run.json"
-
-
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` via tmp file + rename (crash-atomic)."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(data)
-    tmp.replace(path)
-
-
-class CheckpointStore:
-    """Atomic per-band checkpoints under one run directory.
-
-    Layout: ``run.json`` (magic, version, join fingerprint, band count)
-    plus one ``band-NNNNN.ckpt`` pickle per completed band, each with
-    its own versioned header. Every write goes through a tmp file and
-    ``os.replace``, so a kill mid-write never leaves a half file — a
-    checkpoint either exists completely or not at all.
-    """
-
-    def __init__(self, run_dir: str | Path) -> None:
-        self.run_dir = Path(run_dir)
-
-    @property
-    def manifest_path(self) -> Path:
-        return self.run_dir / _MANIFEST_NAME
-
-    def band_path(self, band_index: int) -> Path:
-        return self.run_dir / f"band-{band_index:05d}.ckpt"
-
-    def open(self, fingerprint: str, bands: int) -> None:
-        """Create the run directory/manifest, or validate an existing one.
-
-        Raises :class:`CheckpointMismatchError` when the directory
-        belongs to a different join (input, config, or band plan) and
-        :class:`CheckpointCorruptError` when the manifest is unreadable.
-        """
-        self.run_dir.mkdir(parents=True, exist_ok=True)
-        manifest = self.manifest_path
-        if manifest.exists():
-            try:
-                document = json.loads(manifest.read_text(encoding="utf-8"))
-            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                raise CheckpointCorruptError(
-                    str(manifest), f"unreadable run manifest: {exc}"
-                ) from exc
-            if (
-                not isinstance(document, dict)
-                or document.get("magic") != CHECKPOINT_MAGIC
-                or document.get("version") != CHECKPOINT_VERSION
-            ):
-                raise CheckpointCorruptError(
-                    str(manifest),
-                    "bad run-manifest magic/version (expected "
-                    f"{CHECKPOINT_MAGIC!r} v{CHECKPOINT_VERSION})",
-                )
-            if (
-                document.get("fingerprint") != fingerprint
-                or document.get("bands") != bands
-            ):
-                raise CheckpointMismatchError(
-                    str(manifest),
-                    "run directory belongs to a different join "
-                    "(input collection, result-affecting config, or "
-                    "band plan changed); use a fresh --resume directory",
-                )
-            return
-        payload = {
-            "magic": CHECKPOINT_MAGIC,
-            "version": CHECKPOINT_VERSION,
-            "fingerprint": fingerprint,
-            "bands": bands,
-        }
-        _atomic_write_bytes(
-            manifest, json.dumps(payload, indent=2).encode("utf-8")
-        )
-
-    def completed_bands(self) -> list[int]:
-        """Band indices with an existing checkpoint file, ascending."""
-        indices: list[int] = []
-        for path in self.run_dir.glob("band-*.ckpt"):
-            stem = path.stem.partition("-")[2]
-            if stem.isdigit():
-                indices.append(int(stem))
-        return sorted(indices)
-
-    def save(
-        self, band_index: int, pairs: list[JoinPair], stats: JoinStatistics
-    ) -> None:
-        """Atomically persist one completed band's result."""
-        document = {
-            "magic": CHECKPOINT_MAGIC,
-            "version": CHECKPOINT_VERSION,
-            "band": band_index,
-            "pairs": pairs,
-            "stats": stats,
-        }
-        _atomic_write_bytes(self.band_path(band_index), pickle.dumps(document))
-
-    def load(self, band_index: int) -> BandResult:
-        """Load one band checkpoint, verifying its header.
-
-        Truncated, unpicklable, or mis-headed files raise
-        :class:`CheckpointCorruptError` naming the offending path.
-        """
-        path = self.band_path(band_index)
-        try:
-            document = pickle.loads(path.read_bytes())
-        except FileNotFoundError:
-            raise
-        except Exception as exc:  # pickle raises many concrete types
-            raise CheckpointCorruptError(
-                str(path), f"unreadable band checkpoint: {exc}"
-            ) from exc
-        if (
-            not isinstance(document, dict)
-            or document.get("magic") != CHECKPOINT_MAGIC
-            or document.get("version") != CHECKPOINT_VERSION
-        ):
-            raise CheckpointCorruptError(
-                str(path),
-                "bad band-checkpoint magic/version (expected "
-                f"{CHECKPOINT_MAGIC!r} v{CHECKPOINT_VERSION})",
-            )
-        pairs = document.get("pairs")
-        stats = document.get("stats")
-        if (
-            document.get("band") != band_index
-            or not isinstance(pairs, list)
-            or not isinstance(stats, JoinStatistics)
-        ):
-            raise CheckpointCorruptError(
-                str(path), "band checkpoint payload is malformed"
-            )
-        return band_index, pairs, stats
-
-    def load_if_present(self, band_index: int) -> BandResult | None:
-        """:meth:`load`, or ``None`` when the band has no checkpoint."""
-        if not self.band_path(band_index).exists():
-            return None
-        return self.load(band_index)
 
 
 # ----------------------------------------------------------------------
@@ -457,15 +307,10 @@ def _run_pool_rounds(
             pool: ProcessPoolExecutor | None = None
             futures: list[tuple[Future[Any], int, Any, int]] = []
             try:
-                # Band count and `workers` set the ceiling; the CPU count
-                # clamps it. Extra processes on an oversubscribed host buy
-                # no parallelism for CPU-bound bands — only fork and
-                # scheduling overhead. The band *plan* (and hence results
-                # and checkpoints) is keyed to `workers`, not pool width.
+                # The band *plan* (and hence results and checkpoints) is
+                # keyed to `workers`; only the pool width is clamped.
                 pool = ProcessPoolExecutor(
-                    max_workers=min(
-                        workers, len(queue), os.cpu_count() or 1
-                    ),
+                    max_workers=effective_pool_width(workers, len(queue)),
                     mp_context=mp_context,
                     initializer=initializer,
                     initargs=initargs,

@@ -34,8 +34,11 @@ def similarity_join_two(
 
     With ``config.workers > 1`` or a ``config.checkpoint_dir`` set the
     right collection is sharded into length bands by
-    :mod:`repro.core.parallel` under the fault-tolerant band executor;
-    the pair list is identical either way.
+    :mod:`repro.core.parallel` under a pluggable execution backend
+    (:mod:`repro.core.dispatch`) with the fault-tolerant band
+    executor; the pair list is identical either way. In shard mode
+    (``config.shard``) the outcome holds only that shard's pairs —
+    :func:`repro.core.merge.merge_run` folds the shards.
 
     ``context`` optionally supplies precomputed per-string features for
     the indexed (right) collection, keyed by position in ``right`` —
@@ -48,7 +51,22 @@ def similarity_join_two(
 
         return parallel_similarity_join_two(left, right, config)
     searcher = SimilaritySearcher(right, config, context=context)
-    totals = JoinStatistics(total_strings=len(left) + len(right))
+    return probe_join(searcher, left, len(left) + len(right))
+
+
+def probe_join(
+    searcher: SimilaritySearcher,
+    left: Sequence[UncertainString],
+    total_strings: int,
+) -> JoinOutcome:
+    """Probe a prebuilt searcher with every left string — the R×S core.
+
+    Split out of :func:`similarity_join_two` so callers that construct
+    the searcher themselves (the sharded band task reloading a
+    persisted per-band index snapshot) run the *same* probe loop and
+    stats recording, keeping results byte-identical to the plain path.
+    """
+    totals = JoinStatistics(total_strings=total_strings)
     pairs: list[JoinPair] = []
     with totals.timer("total"):
         for left_id, query in enumerate(left):

@@ -41,17 +41,18 @@ import multiprocessing
 from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
+from repro.core.checkpoint import CheckpointStore, ShardCheckpointStore
 from repro.core.config import JoinConfig
 from repro.core.context import CollectionContext
-from repro.core.executor import (
-    CheckpointStore,
-    RetryPolicy,
-    run_bands,
-)
+from repro.core.dispatch import resolve_execution_backend, shard_slice
+from repro.core.engine import SegmentIndexSource
+from repro.core.executor import RetryPolicy
 from repro.core.join import similarity_join
-from repro.core.join_two import similarity_join_two
+from repro.core.join_two import probe_join, similarity_join_two
 from repro.core.results import JoinOutcome, JoinPair
+from repro.core.search import SimilaritySearcher
 from repro.core.stats import JoinStatistics
+from repro.index.persistence import load_shard_index, save_shard_index
 from repro.uncertain.parser import format_uncertain
 from repro.uncertain.string import UncertainString
 from repro.util.faults import FaultPlan
@@ -252,24 +253,68 @@ def _self_join_band(
     return band_index, kept, outcome.stats
 
 
+#: Optional 6th element of a two-join payload: where this band's index
+#: snapshot lives, plus the identity it must carry to be reusable.
+SnapshotMeta = tuple[str, str, int, int]
+
+
 def _two_join_band(
-    payload: tuple[int, int, tuple[int, ...], tuple[int, ...], JoinConfig],
+    payload: "tuple[int, int, tuple[int, ...], tuple[int, ...], JoinConfig] | tuple[int, int, tuple[int, ...], tuple[int, ...], JoinConfig, SnapshotMeta]",
 ) -> tuple[int, list[JoinPair], JoinStatistics]:
     """R×S band task: probe the owned right band with eligible left strings.
 
     Left strings probe as transient queries (their features stay
     probe-local), so only the indexed right band takes a feature
     subcontext from the shared state.
+
+    Sharded runs append a :data:`SnapshotMeta` element
+    ``(path, fingerprint, shard_index, shard_count)``: the band reloads
+    its persisted segment index from ``path`` when a snapshot of
+    exactly this join/shard/band exists (skipping re-segmentation on
+    resume) and persists one after building otherwise. Non-shard
+    payloads keep the historical 5-tuple shape.
     """
-    band_index, token, left_ids, right_ids, config = payload
+    band_index, token, left_ids, right_ids, config = payload[:5]
+    snapshot: SnapshotMeta | None = payload[5] if len(payload) > 5 else None
     (left, right), (right_context,) = _shared_state(token)
     left_strings = [left[left_id] for left_id in left_ids]
     right_strings = [right[right_id] for right_id in right_ids]
-    outcome = similarity_join_two(
-        left_strings,
+    index = None
+    if snapshot is not None and config.uses_qgram:
+        path, fingerprint, shard_index, shard_count = snapshot
+        try:
+            index = load_shard_index(
+                path,
+                fingerprint=fingerprint,
+                shard_index=shard_index,
+                shard_count=shard_count,
+                band=band_index,
+            )
+        except FileNotFoundError:
+            index = None
+    searcher = SimilaritySearcher(
         right_strings,
         config,
         context=right_context.subcontext(right_ids),
+        index=index,
+    )
+    if (
+        snapshot is not None
+        and config.uses_qgram
+        and index is None
+        and isinstance(searcher.engine.source, SegmentIndexSource)
+    ):
+        path, fingerprint, shard_index, shard_count = snapshot
+        save_shard_index(
+            searcher.engine.source.index,
+            path,
+            fingerprint=fingerprint,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            band=band_index,
+        )
+    outcome = probe_join(
+        searcher, left_strings, len(left_strings) + len(right_strings)
     )
     pairs = [
         JoinPair(left_ids[pair.left_id], right_ids[pair.right_id], pair.probability)
@@ -341,16 +386,42 @@ def _resilience(
 
 
 def _open_checkpoint(
-    run_dir: "str | None", fingerprint_args: tuple, bands: Sequence[LengthBand]
-) -> CheckpointStore | None:
+    run_dir: "str | None",
+    fingerprint_args: tuple,
+    bands: Sequence[LengthBand],
+    shard: "tuple[int, int] | None" = None,
+    strings: int = 0,
+) -> "tuple[CheckpointStore | None, str | None]":
+    """Open the run's checkpoint store; returns ``(store, fingerprint)``.
+
+    Flat layout for plain checkpointed runs; partitioned
+    (:class:`ShardCheckpointStore`) when ``shard`` coordinates are
+    given — then the shared ``run.json`` additionally pins the shard
+    count and input size, and this shard's manifest records exactly the
+    band indices it owns.
+    """
     if run_dir is None:
-        return None
+        return None, None
     kind, config, collections = fingerprint_args
-    store = CheckpointStore(run_dir)
-    store.open(
-        _join_fingerprint(kind, config, bands, *collections), len(bands)
+    fingerprint = _join_fingerprint(kind, config, bands, *collections)
+    if shard is None:
+        store: CheckpointStore = CheckpointStore(run_dir)
+        store.open(fingerprint, len(bands), strings=strings)
+        return store, fingerprint
+    shard_index, shard_count = shard
+    shard_store = ShardCheckpointStore(run_dir, shard_index, shard_count)
+    owned = list(shard_slice(len(bands), shard_index, shard_count))
+    shard_store.open_shard(
+        fingerprint, len(bands), owned, strings=strings
     )
-    return store
+    return shard_store, fingerprint
+
+
+def _resolve_mp_context(config: JoinConfig, mp_context: Any) -> Any:
+    """An explicit ``mp_context`` wins; else honor ``config.mp_start``."""
+    if mp_context is not None or config.mp_start is None:
+        return mp_context
+    return multiprocessing.get_context(config.mp_start)
 
 
 # ----------------------------------------------------------------------
@@ -397,33 +468,80 @@ def parallel_similarity_join(
     published to every worker as process-shared state — band payloads
     ship only id lists and the config, so no string or profile is
     pickled per band.
+
+    With ``config.shard = "i/N"`` the run executes only shard ``i``'s
+    contiguous slice of an ``N × workers``-band plan
+    (:class:`~repro.core.dispatch.ShardBackend`), persists it under
+    ``run_dir/shard-i/``, and publishes/features only the strings that
+    slice can touch; the returned outcome holds just this shard's pairs
+    — :func:`repro.core.merge.merge_run` folds the N shard directories
+    into the full, serial-identical result.
     """
     serial_config = replace(
-        config, workers=1, checkpoint_dir=None, fault_spec=None
+        config,
+        workers=1,
+        checkpoint_dir=None,
+        fault_spec=None,
+        shard=None,
+        mp_start=None,
     )
     policy, faults, run_dir = _resilience(config, policy, faults, run_dir)
+    mp_context = _resolve_mp_context(config, mp_context)
+    shard = config.shard_coordinates
     checkpointing = run_dir is not None
     if not checkpointing and (
         config.workers <= 1 or len(collection) < min_parallel
     ):
         return similarity_join(collection, serial_config)
     lengths = [len(string) for string in collection]
-    bands = plan_length_bands(lengths, config.workers, config.k)
+    # Every shard plans the full run: `workers` bands per shard, so the
+    # plan (and the fingerprint over it) is a function of (input, k,
+    # workers, N) that all N invocations and the merge agree on.
+    plan_workers = config.workers * (shard[1] if shard is not None else 1)
+    bands = plan_length_bands(lengths, plan_workers, config.k)
     if len(bands) <= 1 and not checkpointing:
         return similarity_join(collection, serial_config)
     if not bands:
         return similarity_join(collection, serial_config)
 
-    checkpoint = _open_checkpoint(
-        run_dir, ("self", config, (collection,)), bands
+    checkpoint, _ = _open_checkpoint(
+        run_dir,
+        ("self", config, (collection,)),
+        bands,
+        shard=shard,
+        strings=len(collection),
     )
     stats = JoinStatistics(total_strings=len(collection))
     total_timer = stats.timer("total").start()
     token = next(_TOKENS)
-    shared_collection = tuple(collection)
+    shared_collection: Any = tuple(collection)
+    feature_ids: "Sequence[int] | None" = None
+    if shard is not None:
+        # Publish only what this shard's bands can touch (owned + halo):
+        # the per-shard memory footprint tracks the shard, not the
+        # whole collection. Band tasks index the shared store by global
+        # id, so a dict keyed by the needed ids is a drop-in.
+        owned_bands = shard_slice(len(bands), *shard)
+        needed = sorted(
+            {
+                string_id
+                for band_position in owned_bands
+                for string_id in bands[band_position].member_ids
+            }
+        )
+        shared_collection = {
+            string_id: collection[string_id] for string_id in needed
+        }
+        feature_ids = needed
     with stats.timer("features"):
-        context = CollectionContext.for_collection(
-            shared_collection, build_profiles=config.uses_frequency
+        context = (
+            CollectionContext.for_collection(
+                shared_collection, build_profiles=config.uses_frequency
+            )
+            if feature_ids is None
+            else CollectionContext.for_ids(
+                collection, feature_ids, build_profiles=config.uses_frequency
+            )
         )
     pool_kwargs = _pool_publication(
         token, (shared_collection,), (context,), mp_context
@@ -435,11 +553,12 @@ def parallel_similarity_join(
         )
         for band in bands
     ]
-    results = run_bands(
+    backend = resolve_execution_backend(
+        workers=config.workers, use_processes=use_processes, shard=shard
+    )
+    results = backend.execute(
         _self_join_band,
         payloads,
-        workers=config.workers,
-        use_processes=use_processes,
         policy=policy,
         stats=stats,
         faults=faults,
@@ -479,14 +598,25 @@ def parallel_similarity_join_two(
     Every right string lives in exactly one band, so each pair is
     produced exactly once and the merged, sorted pair list is identical
     to :func:`repro.core.join_two.similarity_join_two`. Resilience
-    knobs and worker-state publication behave exactly as in
+    knobs, sharding, and worker-state publication behave exactly as in
     :func:`parallel_similarity_join`; only the right collection gets a
     shared feature context (left strings probe as transient queries).
+    Sharded q-gram runs additionally persist each owned band's segment
+    index (``shard-i/index-band-NNNNN.json``) so a resumed shard
+    reloads instead of re-segmenting — see
+    :mod:`repro.index.persistence`.
     """
     serial_config = replace(
-        config, workers=1, checkpoint_dir=None, fault_spec=None
+        config,
+        workers=1,
+        checkpoint_dir=None,
+        fault_spec=None,
+        shard=None,
+        mp_start=None,
     )
     policy, faults, run_dir = _resilience(config, policy, faults, run_dir)
+    mp_context = _resolve_mp_context(config, mp_context)
+    shard = config.shard_coordinates
     checkpointing = run_dir is not None
     if not checkpointing and (
         config.workers <= 1 or len(left) + len(right) < min_parallel
@@ -495,49 +625,86 @@ def parallel_similarity_join_two(
     if not left or not right:
         return similarity_join_two(left, right, serial_config)
     right_lengths = [len(string) for string in right]
-    bands = plan_length_bands(right_lengths, config.workers, 0)
+    plan_workers = config.workers * (shard[1] if shard is not None else 1)
+    bands = plan_length_bands(right_lengths, plan_workers, 0)
     if len(bands) <= 1 and not checkpointing:
         return similarity_join_two(left, right, serial_config)
 
-    checkpoint = _open_checkpoint(
-        run_dir, ("two", config, (left, right)), bands
+    checkpoint, fingerprint = _open_checkpoint(
+        run_dir,
+        ("two", config, (left, right)),
+        bands,
+        shard=shard,
+        strings=len(left) + len(right),
     )
     stats = JoinStatistics(total_strings=len(left) + len(right))
     total_timer = stats.timer("total").start()
     token = next(_TOKENS)
-    shared_left = tuple(left)
-    shared_right = tuple(right)
-    with stats.timer("features"):
-        right_context = CollectionContext.for_collection(
-            shared_right, build_profiles=config.uses_frequency
+    shared_left: Any = tuple(left)
+    shared_right: Any = tuple(right)
+    eligible_by_band: dict[int, tuple[int, ...]] = {}
+    for band in bands:
+        eligible_by_band[band.index] = tuple(
+            left_id
+            for left_id, string in enumerate(left)
+            if band.low - config.k <= len(string) <= band.high + config.k
         )
+    if shard is not None:
+        owned_bands = set(shard_slice(len(bands), *shard))
+        needed_left = sorted(
+            {
+                left_id
+                for band_position in owned_bands
+                for left_id in eligible_by_band[bands[band_position].index]
+            }
+        )
+        needed_right = sorted(
+            {
+                right_id
+                for band_position in owned_bands
+                for right_id in bands[band_position].member_ids
+            }
+        )
+        shared_left = {left_id: left[left_id] for left_id in needed_left}
+        shared_right = {right_id: right[right_id] for right_id in needed_right}
+        with stats.timer("features"):
+            right_context = CollectionContext.for_ids(
+                right, needed_right, build_profiles=config.uses_frequency
+            )
+    else:
+        with stats.timer("features"):
+            right_context = CollectionContext.for_collection(
+                shared_right, build_profiles=config.uses_frequency
+            )
     pool_kwargs = _pool_publication(
         token, (shared_left, shared_right), (right_context,), mp_context
     )
     payloads = []
     for band in bands:
-        eligible_left = tuple(
-            left_id
-            for left_id, string in enumerate(left)
-            if band.low - config.k <= len(string) <= band.high + config.k
+        entry: tuple[Any, ...] = (
+            band.index,
+            token,
+            eligible_by_band[band.index],
+            band.member_ids,
+            serial_config,
         )
-        payloads.append(
-            (
-                band.index,
+        if shard is not None and isinstance(checkpoint, ShardCheckpointStore):
+            assert fingerprint is not None
+            entry = entry + (
                 (
-                    band.index,
-                    token,
-                    eligible_left,
-                    band.member_ids,
-                    serial_config,
+                    str(checkpoint.index_snapshot_path(band.index)),
+                    fingerprint,
+                    shard[0],
+                    shard[1],
                 ),
             )
-        )
-    results = run_bands(
+        payloads.append((band.index, entry))
+    backend = resolve_execution_backend(
+        workers=config.workers, use_processes=use_processes, shard=shard
+    )
+    results = backend.execute(
         _two_join_band,
         payloads,
-        workers=config.workers,
-        use_processes=use_processes,
         policy=policy,
         stats=stats,
         faults=faults,

@@ -10,7 +10,7 @@ frequency profiles cached across queries — and serves many queries.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.core.config import JoinConfig
 from repro.core.context import CollectionContext
@@ -32,6 +32,7 @@ class SimilaritySearcher:
         collection: Sequence[UncertainString],
         config: JoinConfig,
         context: CollectionContext | None = None,
+        index: Any = None,
     ) -> None:
         self.collection = list(collection)
         self.config = config
@@ -40,9 +41,13 @@ class SimilaritySearcher:
         # own profile lives with the negative pseudo-id's per-probe
         # state. ``context`` lets a parallel band reuse features the
         # parent already computed; by default features fill in lazily
-        # as queries touch the collection.
+        # as queries touch the collection. ``index`` hands the engine a
+        # persisted segment-index snapshot of exactly this collection
+        # (the sharded R-S join reloads its band indexes this way); the
+        # (length, id) add order below matches the build order, which
+        # the snapshot contract requires.
         self._context = context if context is not None else CollectionContext()
-        self._engine = JoinEngine(config, context=self._context)
+        self._engine = JoinEngine(config, context=self._context, index=index)
         order = sorted(
             range(len(self.collection)), key=lambda i: (len(self.collection[i]), i)
         )

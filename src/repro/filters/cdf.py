@@ -60,6 +60,17 @@ _Bounds = tuple[tuple[float, ...], tuple[float, ...]]
 _BOUNDARY_CACHE_MAX = 4096
 _ZERO_CACHE_MAX = 64
 
+#: Monotone lifetime hit/miss counters for the memo tables —
+#: :func:`clear_cdf_caches` empties the tables but never resets these,
+#: so benchmark cases can report per-case deltas by subtracting two
+#: :func:`cdf_cache_stats` snapshots.
+_CACHE_STATS = {
+    "boundary_hits": 0,
+    "boundary_misses": 0,
+    "zero_hits": 0,
+    "zero_misses": 0,
+}
+
 _BOUNDARY_CACHE: OrderedDict[tuple[int, int], _Bounds] = OrderedDict()
 
 
@@ -76,12 +87,14 @@ def _boundary_cell(distance: int, k: int) -> _Bounds:
     key = (distance, k)
     cached = _BOUNDARY_CACHE.get(key)
     if cached is None:
+        _CACHE_STATS["boundary_misses"] += 1
         values = tuple(1.0 if j >= distance else 0.0 for j in range(k + 1))
         cached = (values, values)
         _BOUNDARY_CACHE[key] = cached
         if len(_BOUNDARY_CACHE) > _BOUNDARY_CACHE_MAX:
             _BOUNDARY_CACHE.popitem(last=False)
     else:
+        _CACHE_STATS["boundary_hits"] += 1
         _BOUNDARY_CACHE.move_to_end(key)
     return cached
 
@@ -93,12 +106,14 @@ def _zero_cell(k: int) -> _Bounds:
     """Out-of-band cell: ``Pr(ed <= j <= k) = 0`` (LRU-bounded memo)."""
     cached = _ZERO_CACHE.get(k)
     if cached is None:
+        _CACHE_STATS["zero_misses"] += 1
         zeros = tuple(0.0 for _ in range(k + 1))
         cached = (zeros, zeros)
         _ZERO_CACHE[k] = cached
         if len(_ZERO_CACHE) > _ZERO_CACHE_MAX:
             _ZERO_CACHE.popitem(last=False)
     else:
+        _CACHE_STATS["zero_hits"] += 1
         _ZERO_CACHE.move_to_end(key=k)
     return cached
 
@@ -108,10 +123,26 @@ def clear_cdf_caches() -> None:
 
     Long-lived processes (servers, sweep harnesses) may call this
     between runs to return to a cold-cache footprint; results are
-    unaffected because both tables memoize pure functions.
+    unaffected because both tables memoize pure functions. The
+    :func:`cdf_cache_stats` counters are deliberately NOT reset — they
+    are monotone over the process lifetime so callers can diff
+    snapshots across a clear.
     """
     _BOUNDARY_CACHE.clear()
     _ZERO_CACHE.clear()
+
+
+def cdf_cache_stats() -> dict[str, int]:
+    """Snapshot of the monotone memo-table hit/miss counters.
+
+    Keys: ``boundary_hits``/``boundary_misses`` (the per-``(distance,
+    k)`` boundary-cell memo) and ``zero_hits``/``zero_misses`` (the
+    per-``k`` out-of-band cell memo). Counters only ever grow —
+    :func:`clear_cdf_caches` empties the tables (forcing the next
+    lookups to miss) without touching them, so a benchmark case's
+    cache behaviour is the difference of the snapshots taken around it.
+    """
+    return dict(_CACHE_STATS)
 
 
 def agreement_from_entries(left_entry: object, right_entry: object) -> float:

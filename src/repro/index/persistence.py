@@ -9,14 +9,25 @@ unreadable, truncated, or mis-headed file surfaces as
 :class:`~repro.core.errors.CheckpointCorruptError` naming the offending
 path — never as a raw ``JSONDecodeError``/``KeyError`` leaking from the
 decoder.
+
+Sharded joins add a second entry point pair:
+:func:`save_shard_index` / :func:`load_shard_index` persist a *band's*
+index inside one shard of a partitioned run, tagging the document with
+a ``shard`` section (join fingerprint, shard coordinates, band index).
+A shard then only rebuilds the bands it owns — on resume, a band whose
+snapshot exists reloads instead of re-segmenting its strings — and a
+snapshot copied in from a different join or decomposition is rejected
+with :class:`~repro.core.errors.CheckpointMismatchError` instead of
+silently probing the wrong postings.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any
 
-from repro.core.errors import CheckpointCorruptError
+from repro.core.errors import CheckpointCorruptError, CheckpointMismatchError
 from repro.index.inverted import SegmentInvertedIndex
 
 #: Identifies the file type independently of its version.
@@ -25,17 +36,13 @@ INDEX_MAGIC = "repro-segment-index"
 FORMAT_VERSION = 2
 
 
-def save_index(index: SegmentInvertedIndex, path: str | Path) -> None:
-    """Serialize ``index`` (postings and configuration) to ``path``.
-
-    The write goes through a tmp file and an atomic rename, so a crash
-    mid-save never leaves a half-written index behind.
-    """
+def _index_document(index: SegmentInvertedIndex) -> dict[str, Any]:
+    """The JSON document form of ``index`` (postings + configuration)."""
     lists = {
         f"{length}:{segment}": postings
         for (length, segment), postings in index._lists.items()
     }
-    document = {
+    return {
         "magic": INDEX_MAGIC,
         "format": FORMAT_VERSION,
         "k": index.k,
@@ -49,21 +56,18 @@ def save_index(index: SegmentInvertedIndex, path: str | Path) -> None:
         },
         "lists": lists,
     }
+
+
+def _write_document(document: dict[str, Any], path: str | Path) -> None:
+    """Atomically write a JSON document (tmp file + rename)."""
     target = Path(path)
     tmp = target.with_name(target.name + ".tmp")
     tmp.write_text(json.dumps(document), encoding="utf-8")
     tmp.replace(target)
 
 
-def load_index(path: str | Path) -> SegmentInvertedIndex:
-    """Reconstruct an index saved by :func:`save_index`.
-
-    Raises :class:`CheckpointCorruptError` (carrying ``path``) for
-    anything that is not a well-formed current-version index document:
-    invalid JSON, truncated files, wrong magic, unsupported versions,
-    or structurally malformed postings. A missing file still raises
-    ``FileNotFoundError``.
-    """
+def _read_document(path: str | Path) -> dict[str, Any]:
+    """Read back an index document, validating magic and version."""
     source = Path(path)
     try:
         text = source.read_text(encoding="utf-8")
@@ -97,6 +101,13 @@ def load_index(path: str | Path) -> SegmentInvertedIndex:
             f"unsupported index format {version!r} "
             f"(expected {FORMAT_VERSION})",
         )
+    return document
+
+
+def _index_from_document(
+    document: dict[str, Any], path: str | Path
+) -> SegmentInvertedIndex:
+    """Reconstruct an index from its (already header-checked) document."""
     try:
         index = SegmentInvertedIndex(
             k=document["k"],
@@ -122,6 +133,91 @@ def load_index(path: str | Path) -> SegmentInvertedIndex:
         index._last_id = document["last_id"]
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise CheckpointCorruptError(
-            str(source), f"malformed index document: {exc!r}"
+            str(path), f"malformed index document: {exc!r}"
         ) from exc
     return index
+
+
+def save_index(index: SegmentInvertedIndex, path: str | Path) -> None:
+    """Serialize ``index`` (postings and configuration) to ``path``.
+
+    The write goes through a tmp file and an atomic rename, so a crash
+    mid-save never leaves a half-written index behind.
+    """
+    _write_document(_index_document(index), path)
+
+
+def load_index(path: str | Path) -> SegmentInvertedIndex:
+    """Reconstruct an index saved by :func:`save_index`.
+
+    Raises :class:`CheckpointCorruptError` (carrying ``path``) for
+    anything that is not a well-formed current-version index document:
+    invalid JSON, truncated files, wrong magic, unsupported versions,
+    or structurally malformed postings. A missing file still raises
+    ``FileNotFoundError``. Extra sections (e.g. the ``shard`` tag of a
+    per-shard snapshot) are ignored.
+    """
+    document = _read_document(path)
+    return _index_from_document(document, path)
+
+
+def save_shard_index(
+    index: SegmentInvertedIndex,
+    path: str | Path,
+    *,
+    fingerprint: str,
+    shard_index: int,
+    shard_count: int,
+    band: int,
+) -> None:
+    """Persist one band's index inside a shard of a partitioned run.
+
+    Identical to :func:`save_index` plus a ``shard`` section binding
+    the snapshot to its join fingerprint, shard coordinates, and band —
+    what :func:`load_shard_index` validates before reuse.
+    """
+    document = _index_document(index)
+    document["shard"] = {
+        "fingerprint": fingerprint,
+        "index": shard_index,
+        "count": shard_count,
+        "band": band,
+    }
+    _write_document(document, path)
+
+
+def load_shard_index(
+    path: str | Path,
+    *,
+    fingerprint: str,
+    shard_index: int,
+    shard_count: int,
+    band: int,
+) -> SegmentInvertedIndex:
+    """Reload a band index snapshot saved by :func:`save_shard_index`.
+
+    Beyond :func:`load_index`'s corruption checks, the embedded
+    ``shard`` section must match every expected coordinate; a snapshot
+    from a different join, decomposition, or band raises
+    :class:`CheckpointMismatchError` — a shard must never probe
+    postings it did not build for exactly this plan.
+    """
+    document = _read_document(path)
+    tag = document.get("shard")
+    if not isinstance(tag, dict):
+        raise CheckpointCorruptError(
+            str(path), "missing shard section; not a per-shard index snapshot"
+        )
+    expected = {
+        "fingerprint": fingerprint,
+        "index": shard_index,
+        "count": shard_count,
+        "band": band,
+    }
+    if {key: tag.get(key) for key in expected} != expected:
+        raise CheckpointMismatchError(
+            str(path),
+            "index snapshot belongs to a different join or shard plan "
+            f"(got shard section {tag!r}); refusing to reuse it",
+        )
+    return _index_from_document(document, path)

@@ -274,8 +274,26 @@ def backend_speedups(kernels: dict) -> dict[str, float]:
     return out
 
 
+def _cdf_cache_delta(before: dict[str, int]) -> dict[str, int]:
+    """Per-case growth of the monotone CDF memo-table counters."""
+    from repro.filters.cdf import cdf_cache_stats
+
+    after = cdf_cache_stats()
+    return {name: after[name] - before[name] for name in before}
+
+
 def measure_kernel(case: KernelCase, min_seconds: float = MIN_MEASURE_SECONDS) -> dict:
-    """ns/op for one kernel case, batched to at least ``min_seconds``."""
+    """ns/op for one kernel case, batched to at least ``min_seconds``.
+
+    The CDF memo tables are cleared first so every case starts cold and
+    cases cannot warm each other's caches (ordering of the registry
+    must not change a measurement); the case's own hit/miss traffic is
+    recorded as a counter delta under ``cdf_cache``.
+    """
+    from repro.filters.cdf import cdf_cache_stats, clear_cdf_caches
+
+    clear_cdf_caches()
+    cache_before = cdf_cache_stats()
     fn, ops = case.setup()
     fn()  # warm caches (boundary-cell memo, dataset construction)
     calls = 0
@@ -289,7 +307,12 @@ def measure_kernel(case: KernelCase, min_seconds: float = MIN_MEASURE_SECONDS) -
         calls += batch
         batch = min(batch * 2, 64)
     ns_per_op = elapsed * 1e9 / (calls * ops)
-    return {"ns_per_op": ns_per_op, "calls": calls, "ops_per_call": ops}
+    return {
+        "ns_per_op": ns_per_op,
+        "calls": calls,
+        "ops_per_call": ops,
+        "cdf_cache": _cdf_cache_delta(cache_before),
+    }
 
 
 def measure_join(workers: int, size: int = JOIN_SIZE, repeats: int = 3) -> dict:
@@ -297,17 +320,23 @@ def measure_join(workers: int, size: int = JOIN_SIZE, repeats: int = 3) -> dict:
 
     The join runs ``repeats`` times and the **median** attempt (by
     throughput) is reported — single runs are far too noisy to gate on
-    when worker processes contend for the host's cores.
+    when worker processes contend for the host's cores. The CDF memo
+    tables are cleared before each attempt (cold-cache joins, like the
+    kernel cases) and the per-case counter delta is reported under
+    ``cdf_cache``.
     """
     from repro.core.config import JoinConfig
     from repro.core.join import similarity_join
+    from repro.filters.cdf import cdf_cache_stats, clear_cdf_caches
 
     collection = _dblp(size)
     config = JoinConfig.for_algorithm(
         "QFCT", k=2, tau=0.1, q=3, workers=workers
     )
+    cache_before = cdf_cache_stats()
     attempts = []
     for _ in range(max(1, repeats)):
+        clear_cdf_caches()
         start = time.perf_counter()
         outcome = similarity_join(collection, config)
         seconds = time.perf_counter() - start
@@ -325,6 +354,7 @@ def measure_join(workers: int, size: int = JOIN_SIZE, repeats: int = 3) -> dict:
     attempts.sort(key=lambda row: row["pairs_per_sec"])
     median = dict(attempts[len(attempts) // 2])
     median["attempts"] = [row["pairs_per_sec"] for row in attempts]
+    median["cdf_cache"] = _cdf_cache_delta(cache_before)
     return median
 
 

@@ -33,6 +33,12 @@ default 1) and ``/SECONDS`` (hang duration, default 3600)::
     crash@2x3          # band 2, attempts 0-2 raise
     hang@0x2/1.5       # band 0, attempts 0-1 sleep 1.5s
     corrupt@1,crash@3  # two faults, two bands
+
+A target may be *shard-qualified* with an ``sSHARD:`` prefix on the
+band: ``crash@s1:2x3`` fires only inside shard 1 of a ``--shard``-mode
+run (and never in a non-sharded run). The shard driver narrows the plan
+with :meth:`FaultPlan.narrowed` before handing it to the executor, so
+the byte-identity-under-faults tests extend to the shard backend.
 """
 
 from __future__ import annotations
@@ -45,7 +51,7 @@ from dataclasses import dataclass
 KINDS = ("crash", "abort", "hang", "corrupt")
 
 _SPEC_PATTERN = re.compile(
-    r"^(?P<kind>[a-z]+)@(?P<band>\d+)"
+    r"^(?P<kind>[a-z]+)@(?:s(?P<shard>\d+):)?(?P<band>\d+)"
     r"(?:x(?P<times>\d+))?"
     r"(?:/(?P<seconds>\d+(?:\.\d+)?))?$"
 )
@@ -67,12 +73,20 @@ class InjectedCrashError(RuntimeError):
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One scheduled fault: ``kind`` hits ``band`` on attempts ``< times``."""
+    """One scheduled fault: ``kind`` hits ``band`` on attempts ``< times``.
+
+    ``shard`` is ``None`` for an unqualified spec (fires in any
+    non-shard-narrowed run). A shard-qualified spec (``crash@s1:2``)
+    carries its target shard and *never* fires directly — the shard
+    driver must first narrow the plan (:meth:`FaultPlan.narrowed`) to
+    strip the qualifier for specs aimed at the running shard.
+    """
 
     kind: str
     band: int
     times: int = 1
     seconds: float = 3600.0
+    shard: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -85,10 +99,20 @@ class FaultSpec:
             raise ValueError(f"times must be >= 1, got {self.times}")
         if self.seconds <= 0:
             raise ValueError(f"seconds must be positive, got {self.seconds}")
+        if self.shard is not None and self.shard < 0:
+            raise ValueError(f"shard must be non-negative, got {self.shard}")
 
     def matches(self, band: int, attempt: int) -> bool:
-        """Whether this spec fires for ``band`` on 0-based ``attempt``."""
-        return band == self.band and 0 <= attempt < self.times
+        """Whether this spec fires for ``band`` on 0-based ``attempt``.
+
+        Shard-qualified specs never match here; they only become live
+        after :meth:`FaultPlan.narrowed` resolves them for their shard.
+        """
+        return (
+            self.shard is None
+            and band == self.band
+            and 0 <= attempt < self.times
+        )
 
 
 @dataclass(frozen=True)
@@ -107,7 +131,7 @@ class FaultPlan:
 
     @classmethod
     def from_spec(cls, text: str | None) -> "FaultPlan":
-        """Parse the ``KIND@BAND[xTIMES][/SECONDS]`` comma list.
+        """Parse the ``KIND@[sSHARD:]BAND[xTIMES][/SECONDS]`` comma list.
 
         ``None`` or an empty/whitespace string yields an empty plan.
         """
@@ -122,8 +146,8 @@ class FaultPlan:
             if match is None:
                 raise ValueError(
                     f"bad fault spec {entry!r}; expected "
-                    "KIND@BAND[xTIMES][/SECONDS], e.g. 'crash@2x3' or "
-                    "'hang@0/1.5'"
+                    "KIND@[sSHARD:]BAND[xTIMES][/SECONDS], e.g. 'crash@2x3', "
+                    "'hang@0/1.5', or 'crash@s1:2x3'"
                 )
             specs.append(
                 FaultSpec(
@@ -133,6 +157,9 @@ class FaultPlan:
                     seconds=float(match["seconds"])
                     if match["seconds"]
                     else 3600.0,
+                    shard=int(match["shard"])
+                    if match["shard"] is not None
+                    else None,
                 )
             )
         return cls(tuple(specs))
@@ -143,6 +170,31 @@ class FaultPlan:
             if spec.matches(band, attempt):
                 return spec
         return None
+
+    def narrowed(self, shard_index: int) -> "FaultPlan":
+        """The plan as seen from inside shard ``shard_index``.
+
+        Unqualified specs pass through unchanged; specs qualified for
+        this shard are kept with the qualifier stripped (making them
+        live); specs qualified for other shards are dropped. Band
+        indices stay *global* — the shard executes its slice under the
+        plan-wide band numbering, so ``crash@s1:2`` targets global band
+        2, which must lie inside shard 1's slice to ever fire.
+        """
+        kept: list[FaultSpec] = []
+        for spec in self.specs:
+            if spec.shard is None:
+                kept.append(spec)
+            elif spec.shard == shard_index:
+                kept.append(
+                    FaultSpec(
+                        kind=spec.kind,
+                        band=spec.band,
+                        times=spec.times,
+                        seconds=spec.seconds,
+                    )
+                )
+        return FaultPlan(tuple(kept))
 
 
 def inject(spec: FaultSpec, attempt: int) -> None:

@@ -120,6 +120,68 @@ class TestResilience:
         assert "fault.retried" in captured.err
 
 
+class TestShardMerge:
+    def test_sharded_run_merges_to_serial_output(
+        self, collection_file, tmp_path, capsys
+    ):
+        base = ["join", str(collection_file), "-k", "1", "--tau", "0.2",
+                "--probabilities"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        run_dir = tmp_path / "run"
+        for i in range(3):
+            assert main(
+                base + ["--shard", f"{i}/3", "--resume", str(run_dir)]
+            ) == 0
+            captured = capsys.readouterr()
+            # Shard outcomes are partial: pairs stay off stdout; the
+            # completion summary goes to stderr.
+            assert captured.out == ""
+            assert f"shard {i}/3 complete" in captured.err
+        assert (run_dir / "shard-1" / "manifest.json").exists()
+        assert main(["merge", str(run_dir)]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_shard_requires_resume(self, collection_file):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="run directory"):
+            main(["join", str(collection_file), "-k", "1", "--tau", "0.2",
+                  "--shard", "0/2"])
+
+    def test_shard_rejects_stream(self, collection_file, tmp_path, capsys):
+        code = main(
+            ["join", str(collection_file), "-k", "1", "--tau", "0.2",
+             "--shard", "0/2", "--resume", str(tmp_path / "r"), "--stream"]
+        )
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_merge_of_incomplete_run_fails_loudly(
+        self, collection_file, tmp_path, capsys
+    ):
+        run_dir = tmp_path / "run"
+        assert main(
+            ["join", str(collection_file), "-k", "1", "--tau", "0.2",
+             "--shard", "0/2", "--resume", str(run_dir)]
+        ) == 0
+        capsys.readouterr()
+        from repro.core.errors import ShardIncompleteError
+
+        with pytest.raises(ShardIncompleteError):
+            main(["merge", str(run_dir)])
+
+    def test_merge_collects_flat_resume_run(
+        self, collection_file, tmp_path, capsys
+    ):
+        base = ["join", str(collection_file), "-k", "1", "--tau", "0.2"]
+        run_dir = tmp_path / "flat"
+        assert main(base + ["--resume", str(run_dir)]) == 0
+        joined = capsys.readouterr().out
+        assert main(["merge", str(run_dir)]) == 0
+        assert capsys.readouterr().out == joined
+
+
 class TestTopK:
     def test_outputs_requested_count_with_probabilities(
         self, collection_file, capsys

@@ -16,6 +16,7 @@ import random
 
 import pytest
 
+import repro.core.executor as executor
 import repro.core.parallel as parallel
 from repro.core.config import JoinConfig
 from repro.core.context import CollectionContext, StringFeatures
@@ -113,15 +114,20 @@ class TestCollectionContext:
 
 
 def _capture_payloads(monkeypatch):
-    """Intercept run_bands to record the per-band payloads dispatched."""
+    """Intercept run_bands to record the per-band payloads dispatched.
+
+    Every execution backend funnels into ``executor.run_bands`` (looked
+    up at call time), so patching it there observes the exact payloads
+    any backend ships.
+    """
     captured = []
-    real = parallel.run_bands
+    real = executor.run_bands
 
     def recording(task, payloads, **kwargs):
         captured.extend(payload for _, payload in payloads)
         return real(task, payloads, **kwargs)
 
-    monkeypatch.setattr(parallel, "run_bands", recording)
+    monkeypatch.setattr(executor, "run_bands", recording)
     return captured
 
 

@@ -109,6 +109,39 @@ class TestFaultPlan:
             JoinConfig(k=1, tau=0.1, fault_spec="explode@0")
         assert JoinConfig(k=1, tau=0.1, fault_spec="crash@0").fault_spec == "crash@0"
 
+    def test_parse_shard_qualified_spec(self):
+        plan = FaultPlan.from_spec("crash@s1:2x3,hang@0/1.5")
+        assert plan.specs == (
+            FaultSpec("crash", 2, times=3, shard=1),
+            FaultSpec("hang", 0, times=1, seconds=1.5),
+        )
+
+    @pytest.mark.parametrize("bad", ["crash@s:2", "crash@s-1:2", "crash@sx:2"])
+    def test_bad_shard_qualifiers_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec(bad)
+
+    def test_shard_qualified_spec_never_fires_unnarrowed(self):
+        # A qualified spec is inert until a ShardBackend narrows the
+        # plan to its shard — band indices alone must not trigger it.
+        plan = FaultPlan.from_spec("crash@s1:2")
+        assert plan.fault_for(2, 0) is None
+
+    def test_narrowed_keeps_own_shard_and_drops_others(self):
+        plan = FaultPlan.from_spec("crash@s1:2x3,corrupt@s0:1,hang@0/1.5")
+        mine = plan.narrowed(1)
+        assert mine.specs == (
+            FaultSpec("crash", 2, times=3),  # qualifier stripped: now live
+            FaultSpec("hang", 0, times=1, seconds=1.5),
+        )
+        assert mine.fault_for(2, 0).kind == "crash"
+        other = plan.narrowed(2)
+        assert other.specs == (FaultSpec("hang", 0, times=1, seconds=1.5),)
+
+    def test_config_accepts_shard_qualified_spec(self):
+        config = JoinConfig(k=1, tau=0.1, fault_spec="crash@s1:2x3")
+        assert config.fault_spec == "crash@s1:2x3"
+
 
 class TestRetryPolicy:
     def test_validation(self):
