@@ -1,0 +1,211 @@
+"""Serve-layer smoke check — byte identity under concurrency and faults.
+
+Boots an in-process ``repro-join serve`` service with request-path
+faults injected (a stalled request, a dropped connection, a corrupted
+response body, a handler crash), hammers it with concurrent mixed
+search/top-k clients over real sockets, and asserts:
+
+* every *completed* response is byte-identical to the offline answer
+  (the same service called directly, whose search matches are in turn
+  cross-checked against a fresh :class:`SimilaritySearcher`),
+* every *non*-completed request surfaces as an explicit, typed failure
+  (connection error for ``drop``, garbled-but-delivered body for
+  ``corrupt-resp``, a typed 500 for ``crash``) — never a hang,
+* the health endpoints answer, and shutdown drains cleanly.
+
+Exits non-zero on any violation. Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_serve.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+# Allow running from a source checkout without an installed package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.config import JoinConfig  # noqa: E402
+from repro.core.search import SimilaritySearcher  # noqa: E402
+from repro.datasets import dblp_like_collection  # noqa: E402
+from repro.serve.http import ServerRunner  # noqa: E402
+from repro.serve.protocol import encode_document  # noqa: E402
+from repro.serve.service import JoinService, ServeOptions  # noqa: E402
+from repro.uncertain.parser import format_uncertain, parse_uncertain  # noqa: E402
+
+CLIENTS = 3
+REQUESTS = 16
+TOPK_EVERY = 4
+TOPK_COUNT = 5
+# Arrival-indexed request faults: request 2 stalls 0.4s mid-handling,
+# request 5's connection is dropped, request 8's body is garbled,
+# request 11's handler crashes (typed 500).
+FAULTS = "slow@2/0.4,drop@5,corrupt-resp@8,crash@11"
+DROP_AT, CORRUPT_AT, CRASH_AT = 5, 8, 11
+
+
+def check(label: str, condition: bool) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  {label:<52s} {status}")
+    if not condition:
+        sys.exit(1)
+
+
+def main() -> int:
+    collection = dblp_like_collection(
+        48, theta=0.2, rng=7, max_uncertain_positions=4
+    )
+    config = JoinConfig.for_algorithm("QFCT", k=2, tau=0.1, q=3)
+    options = ServeOptions(
+        max_in_flight=4,
+        queue_limit=16,
+        queue_timeout=5.0,
+        request_timeout=15.0,
+        degrade_margin=0.0,  # exact path only: byte identity must hold
+        fault_spec=FAULTS,
+    )
+    service = JoinService(collection, config, options)
+    # precision=12: the parser's probability-sum tolerance is 1e-6, so
+    # the default 6-significant-digit rendering can fail to re-parse.
+    queries = [format_uncertain(s, precision=12) for s in collection[:8]]
+    print(f"smoke: {len(collection)} strings, {CLIENTS} clients, "
+          f"{REQUESTS} requests, faults={FAULTS}")
+
+    # Offline baselines, computed before any HTTP traffic. The direct
+    # service call is the byte-level oracle; its search matches are
+    # independently cross-checked against a fresh searcher over the
+    # same parsed queries.
+    searcher = SimilaritySearcher(collection, config)
+    expected: dict[tuple[str, str], bytes] = {}
+    for text in queries:
+        search_doc = service.search(text)
+        offline = sorted(
+            (m.string_id, m.probability)
+            for m in searcher.search(parse_uncertain(text)).matches
+        )
+        served = sorted(
+            (m["id"], m["probability"]) for m in search_doc["matches"]
+        )
+        if served != offline:
+            print(f"FAIL: service/searcher disagree for {text!r}")
+            return 1
+        expected[("/search", text)] = encode_document(search_doc)
+        expected[("/topk", text)] = encode_document(
+            service.topk(text, TOPK_COUNT)
+        )
+    check(f"offline parity ({len(queries)} queries)", True)
+
+    runner = ServerRunner(service).start()
+    host, port = runner.address
+    outcomes: dict[int, tuple[str, "int | None", bytes]] = {}
+    lock = threading.Lock()
+    issued = [0]
+
+    def take_index() -> "int | None":
+        with lock:
+            if issued[0] >= REQUESTS:
+                return None
+            index = issued[0]
+            issued[0] += 1
+            return index
+
+    def client_loop() -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=60.0)
+        try:
+            while True:
+                index = take_index()
+                if index is None:
+                    return
+                text = queries[index % len(queries)]
+                if index % TOPK_EVERY == TOPK_EVERY - 1:
+                    path = "/topk"
+                    payload: dict = {"query": text, "count": TOPK_COUNT}
+                else:
+                    path, payload = "/search", {"query": text}
+                try:
+                    connection.request(
+                        "POST", path, body=json.dumps(payload),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    body = response.read()
+                    status: "int | None" = response.status
+                except (http.client.HTTPException, ConnectionError, OSError):
+                    connection.close()
+                    status, body = None, b""
+                with lock:
+                    outcomes[index] = (path, status, body)
+        finally:
+            connection.close()
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_loop, name=f"smoke-{i}", daemon=True)
+        for i in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    check(f"all {REQUESTS} requests resolved", len(outcomes) == REQUESTS)
+    identical = 0
+    for index in range(REQUESTS):
+        path, status, body = outcomes[index]
+        text = queries[index % len(queries)]
+        if index == DROP_AT:
+            check(f"request {index}: drop -> connection error",
+                  status is None)
+        elif index == CORRUPT_AT:
+            ok = status == 200 and body != expected[(path, text)]
+            try:
+                json.loads(body)
+                ok = False
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                pass
+            check(f"request {index}: corrupt-resp -> garbled body", ok)
+        elif index == CRASH_AT:
+            document = json.loads(body) if status == 500 else {}
+            check(f"request {index}: crash -> typed 500",
+                  status == 500
+                  and document.get("error", {}).get("type")
+                  == "internal_error")
+        else:
+            if not (status == 200 and body == expected[(path, text)]):
+                print(f"FAIL: request {index} ({path}) status={status}")
+                return 1
+            identical += 1
+    check(f"byte identity on {identical} completed responses", True)
+
+    probe = http.client.HTTPConnection(host, port, timeout=10.0)
+    probe.request("GET", "/healthz")
+    healthz = probe.getresponse()
+    healthz.read()
+    probe.request("GET", "/readyz")
+    readyz = probe.getresponse()
+    ready_doc = json.loads(readyz.read())
+    probe.request("GET", "/stats")
+    stats = probe.getresponse()
+    stats_doc = json.loads(stats.read())
+    probe.close()
+    check("healthz/readyz answer", healthz.status == 200
+          and readyz.status == 200 and ready_doc["status"] == "ready")
+    check("stats counters present",
+          stats_doc["counters"]["serve"].get("serve.requests", 0) >= REQUESTS
+          and stats_doc["admission"]["in_flight"] == 0)
+
+    drained = runner.shutdown()
+    check("shutdown drained", drained)
+    print(f"serve smoke ok in {time.perf_counter() - started:.2f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,10 @@ Four subcommands covering the end-to-end workflow on collection files
   query.
 * ``repro-join topk`` — the N most probably similar pairs (adaptive
   threshold; no tau needed).
+* ``repro-join serve`` — persistent threaded HTTP service: index the
+  collection once, answer ``/search``/``/topk``/``/mini-join`` JSON
+  requests with per-request tau/k under admission control, request
+  deadlines, and graceful degradation (see :mod:`repro.serve`).
 * ``repro-join verify`` — exact ``Pr(ed <= k)`` for two strings.
 * ``repro-join bench`` — hot-kernel/join benchmark suite (all flags
   pass through to ``python -m benchmarks.run``).
@@ -28,6 +32,7 @@ Examples::
     repro-join merge run/
     repro-join search names.txt "jon{(a,0.7),(o,0.3)}than smith" -k 2 --tau 0.1
     repro-join topk names.txt -k 2 --count 10
+    repro-join serve names.txt -k 2 --tau 0.1 --port 8765
     repro-join verify "banana" "ban{(a,0.7),(e,0.3)}na" -k 1
     repro-join bench --quick -o bench.json --baseline BENCH_5.json
 """
@@ -250,6 +255,44 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.errors import ReproError
+    from repro.serve.http import serve_until_interrupted
+    from repro.serve.service import JoinService, ServeOptions
+
+    config = JoinConfig.for_algorithm(
+        args.algorithm,
+        k=args.k,
+        tau=args.tau,
+        q=args.q,
+        report_probabilities=args.probabilities,
+        backend=args.backend,
+    )
+    try:
+        options = ServeOptions(
+            max_in_flight=args.max_in_flight,
+            queue_limit=args.queue_limit,
+            queue_timeout=args.queue_timeout,
+            retry_after=args.retry_after,
+            request_timeout=args.request_timeout,
+            degrade_margin=args.degrade_margin,
+            drain_timeout=args.drain_timeout,
+            fault_spec=args.inject_faults,
+        )
+        service = JoinService.from_files(
+            args.collection, config, options, index_path=args.index_snapshot
+        )
+    except (ReproError, OSError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    return serve_until_interrupted(
+        service,
+        args.host,
+        args.port,
+        announce=lambda message: print(message, file=sys.stderr),
+    )
+
+
 def _cmd_merge(args: argparse.Namespace) -> int:
     from repro.core.merge import merge_run
 
@@ -343,6 +386,87 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("query", help="query in uncertain-string notation")
     _add_join_options(search)
     search.set_defaults(func=_cmd_search)
+
+    serve = commands.add_parser(
+        "serve",
+        help="persistent HTTP query service over one indexed collection "
+        "(admission control, per-request deadlines, graceful degradation)",
+    )
+    serve.add_argument("collection", help="collection file to index and serve")
+    _add_join_options(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=8,
+        help="concurrent requests executed at once (default 8)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a slot; beyond this arrivals "
+        "are shed immediately with 503 (default 16)",
+    )
+    serve.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="longest a queued request waits for a slot before 503 "
+        "(default 0.25)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="Retry-After hint attached to shed responses (default 0.5)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="per-request deadline cap; expiry returns a typed 504 with "
+        "partial results (default 5)",
+    )
+    serve.add_argument(
+        "--degrade-margin",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="fall back to the sampling verifier when less than this "
+        "fraction of the request budget remains; 0 disables "
+        "degradation (default 0.25)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="crash-only shutdown: wait this long for in-flight requests, "
+        "then abandon them (default 5)",
+    )
+    serve.add_argument(
+        "--index-snapshot",
+        default=None,
+        metavar="PATH",
+        help="preload the segment index from a snapshot saved by "
+        "repro.index.persistence instead of rebuilding it (validated "
+        "against the serving config and collection first)",
+    )
+    serve.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="request-path fault plan, e.g. 'slow@3/0.5,drop@5,"
+        "corrupt-resp@7' (testing; targets are request arrival indices)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     bench = commands.add_parser(
         "bench",

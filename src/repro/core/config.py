@@ -244,3 +244,32 @@ class JoinConfig:
     def with_filters(self, filters: tuple[FilterName, ...]) -> "JoinConfig":
         """A copy with a different filter stack (for variant sweeps)."""
         return replace(self, filters=filters)
+
+    def with_tau(self, tau: float) -> "JoinConfig":
+        """A copy at a different probability threshold.
+
+        The serve layer uses this for per-request τ: every other knob
+        (and therefore the index and feature caches built under this
+        config) stays shared.
+        """
+        return replace(self, tau=tau)
+
+    def with_request_k(self, k: int) -> "JoinConfig":
+        """A copy answering requests at a different edit threshold.
+
+        The segment index is physically built for one ``k`` (segment
+        count and posting layout depend on it), so a *different*
+        request ``k`` cannot reuse it: the copy drops the ``qgram``
+        filter and keeps the k-independent stages (frequency, CDF,
+        verification), which is exactly the paper's FCT/CT/T variant at
+        the requested ``k`` — same results as an offline run of that
+        variant. A request at the native ``k`` should use this config
+        unchanged instead.
+        """
+        if k == self.k:
+            return self
+        return replace(
+            self,
+            k=k,
+            filters=tuple(f for f in self.filters if f != "qgram"),
+        )

@@ -1,0 +1,160 @@
+"""Monotonic-clock deadlines with cooperative in-thread enforcement.
+
+The fault-tolerant executor's per-band deadline is a ``SIGALRM`` timer,
+which only arms in the *main thread* of a process — fine for pool
+workers (tasks run in the worker's main thread), silently inert when
+the same band code is driven from a server thread. A long-running
+service needs a deadline mechanism that works in any thread, so this
+module provides the cooperative complement:
+
+* :class:`Deadline` — an immutable-budget, monotonic-clock deadline
+  (``time.monotonic``, so wall-clock jumps cannot fire or defer it)
+  with ``remaining()``/``expired()``/``check()``;
+* a per-thread *deadline scope* stack (:func:`deadline_scope`): hot
+  loops call :func:`check_active`, which raises
+  :class:`~repro.core.errors.DeadlineExceededError` when the innermost
+  scope's budget is gone and costs one thread-local lookup when no
+  scope is active;
+* the checks themselves live in the engine's refinement path
+  (:mod:`repro.core.pipeline`, :meth:`JoinEngine.probe`), so *any*
+  work routed through the stage chain — an offline band task, a served
+  search request — honours the innermost active deadline without the
+  deadline being threaded through every call signature.
+
+Cooperative means exactly that: code which never re-enters the stage
+chain (a single enormous trie verification, a C-level loop) is bounded
+only by the granularity of its check points. The executor therefore
+keeps ``SIGALRM`` as a preemptive layer where it is usable and uses
+the scope mechanism as the everywhere-else fallback; the serve layer
+pairs scopes with admission control so a request that blows through a
+check point late still cannot wedge the server's accept loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.errors import DeadlineExceededError
+
+__all__ = [
+    "Deadline",
+    "active_deadline",
+    "check_active",
+    "deadline_scope",
+]
+
+
+class Deadline:
+    """A fixed time budget anchored to the monotonic clock.
+
+    ``budget`` is seconds from construction; ``None`` never expires
+    (useful for "no limit" code paths that still want the interface).
+    Instances are immutable once created and safe to share across
+    threads — every method is a pure read of the monotonic clock.
+    """
+
+    __slots__ = ("budget", "_expires_at", "_started_at")
+
+    def __init__(self, budget: "float | None") -> None:
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be positive or None, got {budget}")
+        self.budget = budget
+        self._started_at = time.monotonic()
+        self._expires_at = (
+            None if budget is None else self._started_at + budget
+        )
+
+    @classmethod
+    def after(cls, seconds: "float | None") -> "Deadline":
+        """Alias constructor reading as prose: ``Deadline.after(0.5)``."""
+        return cls(seconds)
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since this deadline was created."""
+        return time.monotonic() - self._started_at
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (``inf`` for a limitless deadline).
+
+        Never negative: an expired deadline reports ``0.0``.
+        """
+        if self._expires_at is None:
+            return float("inf")
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is gone."""
+        if self.expired():
+            assert self.budget is not None
+            raise DeadlineExceededError(self.budget, self.elapsed)
+
+    def under_pressure(self, margin: float) -> bool:
+        """Whether less than ``margin`` of the budget remains.
+
+        ``margin`` is a fraction of the original budget in ``[0, 1]`` —
+        the degradation trigger of the serve layer's fallback ladder. A
+        limitless deadline is never under pressure.
+        """
+        if self.budget is None:
+            return False
+        return self.remaining() < margin * self.budget
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.budget is None:
+            return "Deadline(budget=None)"
+        return (
+            f"Deadline(budget={self.budget:.3f}, "
+            f"remaining={self.remaining():.3f})"
+        )
+
+
+class _Scopes(threading.local):
+    """Per-thread stack of active deadline scopes."""
+
+    def __init__(self) -> None:
+        self.stack: list[Deadline] = []
+
+
+_SCOPES = _Scopes()
+
+
+def active_deadline() -> "Deadline | None":
+    """The innermost deadline scope of the current thread, if any."""
+    stack = _SCOPES.stack
+    return stack[-1] if stack else None
+
+
+def check_active() -> None:
+    """Cooperative check point: enforce the innermost active scope.
+
+    Costs one thread-local attribute read when no scope is active, so
+    it is safe to call from per-candidate hot loops.
+    """
+    stack = _SCOPES.stack
+    if stack:
+        stack[-1].check()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline) -> Iterator[Deadline]:
+    """Make ``deadline`` the current thread's innermost active scope.
+
+    Scopes nest: the innermost one is enforced by :func:`check_active`
+    (an outer scope's expiry surfaces once the inner scope pops). The
+    scope is strictly per-thread — it never leaks into pool workers or
+    sibling request threads.
+    """
+    _SCOPES.stack.append(deadline)
+    try:
+        yield deadline
+    finally:
+        popped = _SCOPES.stack.pop()
+        assert popped is deadline, "deadline scopes popped out of order"

@@ -274,7 +274,12 @@ class JoinEngine:
         self._strings[string_id] = string
 
     def probe(
-        self, query_id: int, query: UncertainString
+        self,
+        query_id: int,
+        query: UncertainString,
+        *,
+        stats: JoinStatistics | None = None,
+        tau: "TauProvider | float | None" = None,
     ) -> Iterator[tuple[int, bool, "float | None"]]:
         """Refine ``query`` against every added candidate, lazily.
 
@@ -283,10 +288,29 @@ class JoinEngine:
         candidate, so consumers may tighten the threshold between pulls
         (the adaptive top-N loop does). Negative ``query_id``s mark
         transient queries: their frequency profiles stay probe-local.
+
+        ``stats`` redirects this probe's recording to a per-call sink
+        instead of :attr:`stats` — the serving layer answers concurrent
+        requests over one shared engine, each request folding its own
+        sink, so the shared attribute is never reassigned underneath a
+        sibling thread. ``tau`` overrides the engine's threshold for
+        this probe only: a float enables the constant-τ batch path, a
+        callable is treated as an adaptive provider (scalar path).
         """
+        run_stats = stats if stats is not None else self.stats
+        if tau is None:
+            provider = self.tau
+            constant = self._constant_tau
+        elif callable(tau):
+            provider = tau
+            constant = False
+        else:
+            threshold = float(tau)
+            provider = lambda: threshold  # noqa: E731
+            constant = True
         context = self.chain.context(query_id, query)
-        candidates = self.source.probe(query, self.tau(), self.stats)
-        if self._constant_tau and self.chain.batch_refine and len(candidates) >= 2:
+        candidates = self.source.probe(query, provider(), run_stats)
+        if constant and self.chain.batch_refine and len(candidates) >= 2:
             # Batch-refine path (DESIGN.md §6f): group the probe's
             # surviving candidates and run each filter stage as one
             # vectorized kernel call over the block. Results are
@@ -296,7 +320,7 @@ class JoinEngine:
                 for candidate_id, upper in candidates
             ]
             refined = self.chain.refine_block(
-                context, entries, self.tau(), self.stats
+                context, entries, provider(), run_stats
             )
             for (candidate_id, _, _), (similar, probability) in zip(
                 entries, refined
@@ -308,17 +332,27 @@ class JoinEngine:
                 context,
                 candidate_id,
                 self._strings[candidate_id],
-                self.tau,
-                self.stats,
+                provider,
+                run_stats,
                 upper,
             )
             yield candidate_id, similar, probability
 
     def matches(
-        self, query: UncertainString, query_id: int = -1
+        self,
+        query: UncertainString,
+        query_id: int = -1,
+        *,
+        stats: JoinStatistics | None = None,
+        tau: "TauProvider | float | None" = None,
     ) -> Iterator[SearchMatch]:
-        """Stream the added strings similar to ``query`` under (k, τ)."""
-        for candidate_id, similar, probability in self.probe(query_id, query):
+        """Stream the added strings similar to ``query`` under (k, τ).
+
+        ``stats``/``tau`` are per-call overrides (see :meth:`probe`).
+        """
+        for candidate_id, similar, probability in self.probe(
+            query_id, query, stats=stats, tau=tau
+        ):
             if similar:
                 yield SearchMatch(candidate_id, probability)
 

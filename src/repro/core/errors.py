@@ -67,6 +67,49 @@ class CorruptResultError(WorkerCrashError):
         return type(self), (self.band_index, self.detail)
 
 
+class DeadlineExceededError(ReproError):
+    """A cooperative deadline (:mod:`repro.core.deadline`) ran out.
+
+    Raised by deadline check points inside the engine's refinement path
+    (and anything else that calls ``check_active``). ``budget`` is the
+    deadline's full allowance in seconds; ``elapsed`` how long the work
+    had actually been running when the check fired.
+    """
+
+    def __init__(self, budget: float, elapsed: float) -> None:
+        super().__init__(
+            f"deadline exceeded: {elapsed:.3f}s elapsed of a "
+            f"{budget:.3f}s budget"
+        )
+        self.budget = budget
+        self.elapsed = elapsed
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["DeadlineExceededError"], tuple[float, float]]:
+        return type(self), (self.budget, self.elapsed)
+
+
+class ServiceOverloadedError(ReproError):
+    """The serve layer shed a request at admission (explicit 503).
+
+    Raised by :class:`repro.serve.admission.AdmissionController` when
+    the in-flight limit and the bounded wait are both exhausted — the
+    request was never started, so retrying after ``retry_after``
+    seconds is safe and lossless.
+    """
+
+    def __init__(self, retry_after: float, detail: str) -> None:
+        super().__init__(f"overloaded: {detail} (retry after {retry_after:g}s)")
+        self.retry_after = retry_after
+        self.detail = detail
+
+    def __reduce__(
+        self,
+    ) -> tuple[type["ServiceOverloadedError"], tuple[float, str]]:
+        return type(self), (self.retry_after, self.detail)
+
+
 class BandTimeoutError(ReproError):
     """A band task exceeded its per-band execution deadline."""
 

@@ -9,8 +9,10 @@ result is kept. :func:`run_bands` replaces the old all-or-nothing
 * **future per band** — one ``ProcessPoolExecutor`` future per band, so
   a single worker death no longer discards completed bands;
 * **per-band timeout** — a worker-side ``SIGALRM`` deadline (raising
-  :class:`~repro.core.errors.BandTimeoutError` inside the band call)
-  plus a parent-side backstop for workers too wedged to take a signal;
+  :class:`~repro.core.errors.BandTimeoutError` inside the band call),
+  a cooperative :mod:`repro.core.deadline` scope for threads where the
+  signal cannot arm (server threads driving the executor), and a
+  parent-side backstop for workers too wedged to take a signal;
 * **bounded retries with exponential backoff** — each failed band is
   resubmitted up to ``RetryPolicy.retries`` times; a broken pool is
   rebuilt between rounds;
@@ -57,11 +59,13 @@ from repro.core.checkpoint import (  # noqa: F401  (compat re-exports)
     ShardCheckpointStore,
     _atomic_write_bytes,
 )
+from repro.core.deadline import Deadline, deadline_scope
 from repro.core.dispatch import BandTask, effective_pool_width
 from repro.core.errors import (
     BandTimeoutError,
     ConfigurationError,
     CorruptResultError,
+    DeadlineExceededError,
     WorkerCrashError,
 )
 from repro.core.stats import JoinStatistics
@@ -150,31 +154,48 @@ class RetryPolicy:
 def _deadline(band_index: int, timeout: float | None) -> Iterator[None]:
     """Raise :class:`BandTimeoutError` inside the call after ``timeout``.
 
-    Uses ``SIGALRM``/``setitimer``, so it only arms in the main thread
-    of a process on platforms with the signal (pool workers run tasks
-    in their main thread); elsewhere the parent-side backstop in
-    :func:`run_bands` is the only deadline.
+    Two enforcement layers, armed together:
+
+    * ``SIGALRM``/``setitimer`` — preemptive, but it only arms in the
+      main thread of a process on platforms with the signal (pool
+      workers run tasks in their main thread, so the pool path always
+      has it);
+    * a cooperative :class:`~repro.core.deadline.Deadline` scope — the
+      engine's refinement loop checks it per candidate, so the timeout
+      still fires when the band is driven from a non-main thread (a
+      server worker, the in-process degradation path of a threaded
+      host). Before this fallback existed the off-main-thread case
+      silently became a no-op and only the parent-side backstop (pool
+      path only) bounded the band.
+
+    Either layer's expiry surfaces as the same
+    :class:`BandTimeoutError`, so retry/degradation accounting cannot
+    tell them apart.
     """
-    usable = (
-        timeout is not None
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
+    if timeout is None:
         yield
         return
-    assert timeout is not None
+    signal_usable = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
 
     def _on_alarm(signum: int, frame: object) -> None:
         raise BandTimeoutError(band_index, timeout)
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    previous: Any = None
+    if signal_usable:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        yield
+        with deadline_scope(Deadline(timeout)):
+            yield
+    except DeadlineExceededError as exc:
+        raise BandTimeoutError(band_index, timeout) from exc
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        if signal_usable:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 def _band_call(

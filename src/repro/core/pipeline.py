@@ -19,6 +19,7 @@ from typing import Callable, Sequence
 from repro.core.backends import KernelBackend, PythonBackend, resolve_backend
 from repro.core.config import JoinConfig, VerificationName
 from repro.core.context import CollectionContext, StringFeatures
+from repro.core.deadline import check_active
 from repro.core.stats import JoinStatistics
 from repro.filters.base import FilterDecision, FilterVerdict, PipelineStage
 from repro.filters.cdf import CdfBoundFilter
@@ -375,7 +376,15 @@ class StageChain:
         ``Pr(ed <= k)`` when it computed one. Returns
         ``(is_result, probability)``; the probability is ``None`` unless
         verification computed the exact value for a reported pair.
+
+        A cooperative deadline check point guards every candidate: when
+        the calling thread runs under an active
+        :func:`repro.core.deadline.deadline_scope` whose budget is
+        gone, the refinement raises
+        :class:`~repro.core.errors.DeadlineExceededError` instead of
+        starting another filter/verification round.
         """
+        check_active()
         threshold = tau()
         if upper is not None and upper <= threshold:
             # Re-check the probe-time bound against the *current* τ: a
@@ -431,6 +440,7 @@ class StageChain:
         which is where the numpy backend's vectorization pays off.
         """
         results: list[tuple[bool, float | None] | None] = [None] * len(entries)
+        check_active()
         active: list[int] = []
         for i, (_, _, upper) in enumerate(entries):
             if upper is not None and upper <= threshold:
@@ -442,6 +452,7 @@ class StageChain:
         for stage in self.stages:
             if not active:
                 break
+            check_active()
             for _ in active:
                 stats.record(stage.name, "checked")
             with stats.timer(stage.name):
@@ -471,6 +482,7 @@ class StageChain:
         # probabilities are wanted) verify one pair at a time, in the
         # block's candidate order — verification has no batch kernel.
         for i in sorted(active + accepted):
+            check_active()
             candidate = entries[i][1]
             stats.record("verification", "checked")
             with stats.timer(self._verify.name):

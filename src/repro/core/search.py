@@ -60,26 +60,38 @@ class SimilaritySearcher:
         return self._engine
 
     def iter_matches(
-        self, query: UncertainString, stats: JoinStatistics | None = None
+        self,
+        query: UncertainString,
+        stats: JoinStatistics | None = None,
+        tau: float | None = None,
     ) -> Iterator[SearchMatch]:
         """Stream matches for ``query`` as they are discovered.
 
         ``stats``, when given, receives this probe's counters/timers;
-        otherwise recording goes to a throwaway sink.
+        otherwise recording goes to a throwaway sink. Either way the
+        sink is passed *per probe* (never assigned onto the shared
+        engine), so concurrent queries over one searcher each keep
+        their own statistics. ``tau`` overrides the configured
+        threshold for this query only — the per-request τ of the serve
+        layer; candidate generation and every filter stage prune
+        against the override exactly as a searcher built with that τ
+        would.
         """
-        self._engine.stats = (
+        sink = (
             stats
             if stats is not None
             else JoinStatistics(total_strings=len(self.collection))
         )
-        return self._engine.matches(query, QUERY_ID)
+        return self._engine.matches(query, QUERY_ID, stats=sink, tau=tau)
 
-    def search(self, query: UncertainString) -> SearchOutcome:
+    def search(
+        self, query: UncertainString, tau: float | None = None
+    ) -> SearchOutcome:
         """All collection strings similar to ``query`` under (k, τ)."""
         stats = JoinStatistics(total_strings=len(self.collection))
         matches: list[SearchMatch] = []
         with stats.timer("total"):
-            matches.extend(self.iter_matches(query, stats=stats))
+            matches.extend(self.iter_matches(query, stats=stats, tau=tau))
         stats.result_pairs = len(matches)
         matches.sort()
         return SearchOutcome(matches=matches, stats=stats)

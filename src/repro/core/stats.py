@@ -8,7 +8,9 @@ time (Figure 8), and the false-positive count of the verification stage.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.util.timing import Stopwatch
 
@@ -38,7 +40,15 @@ _STAGE_FIELDS: dict[tuple[str, str], str] = {
 
 @dataclass
 class JoinStatistics:
-    """Counters and stopwatches for one join/search run."""
+    """Counters and stopwatches for one join/search run.
+
+    Safe to share across threads: :meth:`record`, :meth:`merge`, and
+    :meth:`timer` creation are lock-guarded (and the stopwatches guard
+    themselves), so a served collection can fold many concurrent
+    request threads into one sink without losing updates. Reads
+    (`summary`, `stage_count`) are unguarded snapshots — exact once
+    writers quiesce, approximate while they run.
+    """
 
     total_strings: int = 0
     #: pairs passing the length filter (the universe Q-gram works on);
@@ -76,6 +86,25 @@ class JoinStatistics:
     #: ``fault.pool_unavailable``). Written through :meth:`record`.
     stage_counters: dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Concurrency guard for the mutating paths (`record`, `merge`,
+        # `timer` creation): a long-running server records counters from
+        # many request threads into one shared sink, and the unguarded
+        # read-modify-write of a counter field loses updates under
+        # contention. The lock is instance state but not dataclass
+        # *field* state — equality, repr, and pickling (band results
+        # cross process boundaries) all ignore it.
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     def record(self, stage: str, event: str, amount: int = 1) -> None:
         """Count ``amount`` occurrences of ``event`` in ``stage``.
 
@@ -86,11 +115,14 @@ class JoinStatistics:
         :attr:`stage_counters`.
         """
         name = _STAGE_FIELDS.get((stage, event))
-        if name is not None:
-            setattr(self, name, getattr(self, name) + amount)
-        else:
-            key = f"{stage}.{event}"
-            self.stage_counters[key] = self.stage_counters.get(key, 0) + amount
+        with self._lock:
+            if name is not None:
+                setattr(self, name, getattr(self, name) + amount)
+            else:
+                key = f"{stage}.{event}"
+                self.stage_counters[key] = (
+                    self.stage_counters.get(key, 0) + amount
+                )
 
     def stage_count(self, stage: str, event: str) -> int:
         """Current value of a recorded counter (0 if never recorded)."""
@@ -113,13 +145,48 @@ class JoinStatistics:
             if key.startswith("fault.")
         }
 
+    def serve_counts(self) -> dict[str, int]:
+        """The serve layer's ``serve.*`` counters (empty offline).
+
+        The request-path analogue of :meth:`fault_counts`: a served
+        collection's shared statistics accumulate ``serve.requests``,
+        ``serve.shed``, ``serve.degraded``, ``serve.deadline_exceeded``
+        (plus reload/fault events) here, keyed by their full
+        ``"serve.<event>"`` stage-counter names, sorted.
+        """
+        return {
+            key: count
+            for key, count in sorted(self.stage_counters.items())
+            if key.startswith("serve.")
+        }
+
+    def counter_report(self) -> dict[str, dict[str, int]]:
+        """Uniform runtime-counter document for harnesses and gates.
+
+        One shape for everything the load harness and the benchmark
+        gate report alongside timings: the executor's fault counters,
+        the serve layer's request counters, and the process-global CDF
+        memo-table traffic (:func:`repro.filters.cdf.cdf_cache_stats`,
+        imported lazily — the filters package imports nothing from this
+        module, but keeping the import out of module scope makes that
+        impossible to regress silently).
+        """
+        from repro.filters.cdf import cdf_cache_stats
+
+        return {
+            "fault": self.fault_counts(),
+            "serve": self.serve_counts(),
+            "cdf_cache": cdf_cache_stats(),
+        }
+
     def timer(self, stage: str) -> Stopwatch:
         """The (created-on-demand) stopwatch for ``stage``."""
-        watch = self.timers.get(stage)
-        if watch is None:
-            watch = Stopwatch()
-            self.timers[stage] = watch
-        return watch
+        with self._lock:
+            watch = self.timers.get(stage)
+            if watch is None:
+                watch = Stopwatch()
+                self.timers[stage] = watch
+            return watch
 
     def seconds(self, stage: str) -> float:
         """Elapsed seconds recorded for ``stage`` (0.0 if never timed)."""
@@ -171,14 +238,17 @@ class JoinStatistics:
         would double-count overlapping intervals. ``total_strings`` and
         ``result_pairs`` are never merged; the caller sets them.
         """
-        for name in self.MERGE_COUNTERS:
-            setattr(self, name, getattr(self, name) + getattr(other, name))
-        for key, count in other.stage_counters.items():
-            self.stage_counters[key] = self.stage_counters.get(key, 0) + count
-        for stage, watch in other.timers.items():
-            if stage == "total" and not include_total:
-                continue
-            self.timer(stage).add(watch.elapsed)
+        with self._lock:
+            for name in self.MERGE_COUNTERS:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+            for key, count in other.stage_counters.items():
+                self.stage_counters[key] = (
+                    self.stage_counters.get(key, 0) + count
+                )
+            for stage, watch in other.timers.items():
+                if stage == "total" and not include_total:
+                    continue
+                self.timer(stage).add(watch.elapsed)
 
     def summary(self) -> str:
         """A compact human-readable report."""

@@ -42,6 +42,7 @@ all exact in IEEE arithmetic).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Sequence
 
@@ -71,6 +72,14 @@ _CACHE_STATS = {
     "zero_misses": 0,
 }
 
+#: Guards the two LRU memo tables: ``move_to_end``/``popitem`` on an
+#: :class:`OrderedDict` are multi-step re-links, so concurrent server
+#: threads could otherwise interleave an eviction with a re-order and
+#: raise ``KeyError`` from inside the cache. Held only around the
+#: table bookkeeping — the memoized values are pure, so contention is
+#: a few dict operations long.
+_CACHE_LOCK = threading.Lock()
+
 _BOUNDARY_CACHE: OrderedDict[tuple[int, int], _Bounds] = OrderedDict()
 
 
@@ -85,18 +94,19 @@ def _boundary_cell(distance: int, k: int) -> _Bounds:
     k)`` pairs cannot grow it without bound.
     """
     key = (distance, k)
-    cached = _BOUNDARY_CACHE.get(key)
-    if cached is None:
-        _CACHE_STATS["boundary_misses"] += 1
-        values = tuple(1.0 if j >= distance else 0.0 for j in range(k + 1))
-        cached = (values, values)
-        _BOUNDARY_CACHE[key] = cached
-        if len(_BOUNDARY_CACHE) > _BOUNDARY_CACHE_MAX:
-            _BOUNDARY_CACHE.popitem(last=False)
-    else:
-        _CACHE_STATS["boundary_hits"] += 1
-        _BOUNDARY_CACHE.move_to_end(key)
-    return cached
+    with _CACHE_LOCK:
+        cached = _BOUNDARY_CACHE.get(key)
+        if cached is None:
+            _CACHE_STATS["boundary_misses"] += 1
+            values = tuple(1.0 if j >= distance else 0.0 for j in range(k + 1))
+            cached = (values, values)
+            _BOUNDARY_CACHE[key] = cached
+            if len(_BOUNDARY_CACHE) > _BOUNDARY_CACHE_MAX:
+                _BOUNDARY_CACHE.popitem(last=False)
+        else:
+            _CACHE_STATS["boundary_hits"] += 1
+            _BOUNDARY_CACHE.move_to_end(key)
+        return cached
 
 
 _ZERO_CACHE: OrderedDict[int, _Bounds] = OrderedDict()
@@ -104,18 +114,19 @@ _ZERO_CACHE: OrderedDict[int, _Bounds] = OrderedDict()
 
 def _zero_cell(k: int) -> _Bounds:
     """Out-of-band cell: ``Pr(ed <= j <= k) = 0`` (LRU-bounded memo)."""
-    cached = _ZERO_CACHE.get(k)
-    if cached is None:
-        _CACHE_STATS["zero_misses"] += 1
-        zeros = tuple(0.0 for _ in range(k + 1))
-        cached = (zeros, zeros)
-        _ZERO_CACHE[k] = cached
-        if len(_ZERO_CACHE) > _ZERO_CACHE_MAX:
-            _ZERO_CACHE.popitem(last=False)
-    else:
-        _CACHE_STATS["zero_hits"] += 1
-        _ZERO_CACHE.move_to_end(key=k)
-    return cached
+    with _CACHE_LOCK:
+        cached = _ZERO_CACHE.get(k)
+        if cached is None:
+            _CACHE_STATS["zero_misses"] += 1
+            zeros = tuple(0.0 for _ in range(k + 1))
+            cached = (zeros, zeros)
+            _ZERO_CACHE[k] = cached
+            if len(_ZERO_CACHE) > _ZERO_CACHE_MAX:
+                _ZERO_CACHE.popitem(last=False)
+        else:
+            _CACHE_STATS["zero_hits"] += 1
+            _ZERO_CACHE.move_to_end(key=k)
+        return cached
 
 
 def clear_cdf_caches() -> None:
@@ -128,8 +139,9 @@ def clear_cdf_caches() -> None:
     are monotone over the process lifetime so callers can diff
     snapshots across a clear.
     """
-    _BOUNDARY_CACHE.clear()
-    _ZERO_CACHE.clear()
+    with _CACHE_LOCK:
+        _BOUNDARY_CACHE.clear()
+        _ZERO_CACHE.clear()
 
 
 def cdf_cache_stats() -> dict[str, int]:
@@ -142,7 +154,8 @@ def cdf_cache_stats() -> dict[str, int]:
     lookups to miss) without touching them, so a benchmark case's
     cache behaviour is the difference of the snapshots taken around it.
     """
-    return dict(_CACHE_STATS)
+    with _CACHE_LOCK:
+        return dict(_CACHE_STATS)
 
 
 def agreement_from_entries(left_entry: object, right_entry: object) -> float:

@@ -161,6 +161,28 @@ def load_index(path: str | Path) -> SegmentInvertedIndex:
     return _index_from_document(document, path)
 
 
+def peek_index_meta(path: str | Path) -> dict[str, Any]:
+    """Header fields of a persisted index, without decoding postings.
+
+    The serve layer's pre-swap validation: a reload candidate snapshot
+    is checked against the serving configuration (``k``/``q``/selection
+    knobs) and collection size (``last_id``) *before* any postings are
+    reconstructed, so pointing a reload at the wrong snapshot fails
+    fast. Raises the same :class:`CheckpointCorruptError` taxonomy as
+    :func:`load_index` for unreadable or mis-headed files.
+    """
+    document = _read_document(path)
+    meta: dict[str, Any] = {}
+    try:
+        for field in ("k", "q", "selection", "group_mode", "bound_mode", "last_id"):
+            meta[field] = document[field]
+    except KeyError as exc:
+        raise CheckpointCorruptError(
+            str(path), f"index document is missing header field {exc}"
+        ) from exc
+    return meta
+
+
 def save_shard_index(
     index: SegmentInvertedIndex,
     path: str | Path,

@@ -388,6 +388,17 @@ def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict
             f"({row['pairs_per_sec']:.0f} pairs/sec)",
             file=sys.stderr,
         )
+    from repro.serve.loadgen import measure_serve
+
+    serve = {"mixed": measure_serve(quick)}
+    row = serve["mixed"]
+    print(
+        f"[bench] serve mixed: p50 {row['p50_ms']:.1f}ms / "
+        f"p95 {row['p95_ms']:.1f}ms / p99 {row['p99_ms']:.1f}ms "
+        f"({row['completed']}/{row['requests']} completed, "
+        f"{row['shed']} shed, {row['degraded']} degraded)",
+        file=sys.stderr,
+    )
     return {
         "schema": 1,
         "quick": quick,
@@ -395,6 +406,7 @@ def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict
         "skipped_kernels": skipped,
         "backend_speedup": backend_speedups(kernels),
         "join": joins,
+        "serve": serve,
     }
 
 
@@ -430,6 +442,11 @@ def unbaselined_entries(current: dict, baseline: dict) -> list[str]:
         f"join {name}"
         for name in current.get("join", {})
         if name not in baseline.get("join", {})
+    )
+    missing.extend(
+        f"serve {name}"
+        for name in current.get("serve", {})
+        if name not in baseline.get("serve", {})
     )
     return missing
 
@@ -486,6 +503,26 @@ def check_regressions(
                 f"join {name}: {measured['pairs_per_sec']:.0f} pairs/sec vs "
                 f"baseline {row['pairs_per_sec']:.0f} (> {tolerance:g}x slower)"
             )
+    for name, row in baseline.get("serve", {}).items():
+        measured = current.get("serve", {}).get(name)
+        if measured is None:
+            failures.append(f"serve {name}: missing from current run")
+            continue
+        if measured["p95_ms"] > row["p95_ms"] * tolerance:
+            failures.append(
+                f"serve {name}: p95 {measured['p95_ms']:.1f}ms vs baseline "
+                f"{row['p95_ms']:.1f}ms (> {tolerance:g}x)"
+            )
+    # Robustness invariants of the serve workload hold regardless of
+    # any baseline: the outcome tally must be exhaustive (nothing hung)
+    # and the healthy-load workload must neither drop nor error.
+    for name, measured in current.get("serve", {}).items():
+        for field in ("unaccounted", "dropped", "errors"):
+            if measured.get(field, 0):
+                failures.append(
+                    f"serve {name}: {measured[field]} request(s) {field} "
+                    "(expected 0 on the healthy bench workload)"
+                )
     return failures
 
 

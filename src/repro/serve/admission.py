@@ -1,0 +1,192 @@
+"""Admission control: bounded concurrency, explicit shedding.
+
+A server that accepts every connection and queues unboundedly does not
+fail — it *wedges*: latency grows without limit, memory grows with the
+queue, and every client eventually times out with no information. The
+:class:`AdmissionController` makes overload an explicit, typed outcome
+instead:
+
+* at most ``max_in_flight`` requests execute concurrently (a
+  semaphore);
+* at most ``queue_limit`` further requests *wait* for a slot, and only
+  for ``queue_timeout`` seconds — both bounds small, both deliberate;
+* anything beyond that is shed immediately with
+  :class:`~repro.core.errors.ServiceOverloadedError`, which the HTTP
+  layer turns into ``503`` + ``Retry-After``. A shed request never
+  started, so retrying it is lossless.
+
+The controller also owns the drain primitive of crash-only shutdown:
+:meth:`drained` blocks until the in-flight count reaches zero or a
+drain deadline expires — the caller then aborts rather than waiting
+forever for a straggler.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.deadline import Deadline
+from repro.core.errors import ConfigurationError, ServiceOverloadedError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded-concurrency gate in front of request execution.
+
+    Thread-safe; one instance fronts all handler threads of a server.
+    Use as a context manager per request::
+
+        with admission.admit():   # may raise ServiceOverloadedError
+            ... handle the request ...
+
+    Parameters
+    ----------
+    max_in_flight:
+        Concurrent requests allowed past the gate.
+    queue_limit:
+        Requests allowed to *wait* for a slot at any moment; arrivals
+        beyond it are shed without waiting at all (so the wait line
+        itself cannot grow unboundedly).
+    queue_timeout:
+        Longest a queued request waits for a slot before being shed.
+    retry_after:
+        The hint (seconds) attached to every shed, surfaced to clients
+        as the ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int = 8,
+        queue_limit: int = 16,
+        queue_timeout: float = 0.25,
+        retry_after: float = 0.5,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        if queue_limit < 0:
+            raise ConfigurationError(
+                f"queue_limit must be >= 0, got {queue_limit}"
+            )
+        if queue_timeout < 0:
+            raise ConfigurationError(
+                f"queue_timeout must be >= 0, got {queue_timeout}"
+            )
+        if retry_after <= 0:
+            raise ConfigurationError(
+                f"retry_after must be positive, got {retry_after}"
+            )
+        self.max_in_flight = max_in_flight
+        self.queue_limit = queue_limit
+        self.queue_timeout = queue_timeout
+        self.retry_after = retry_after
+        self._slots = threading.Semaphore(max_in_flight)
+        # One condition guards both counters and doubles as the drain
+        # signal: every slot release notifies waiters in ``drained``.
+        self._state = threading.Condition()
+        self._in_flight = 0
+        self._waiting = 0
+        self._shed = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently executing (snapshot)."""
+        with self._state:
+            return self._in_flight
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently waiting for a slot (snapshot)."""
+        with self._state:
+            return self._waiting
+
+    @property
+    def shed(self) -> int:
+        """Total requests shed since construction (snapshot)."""
+        with self._state:
+            return self._shed
+
+    def admit(self) -> "_Admission":
+        """A context manager holding one execution slot.
+
+        Entering acquires a slot (waiting at most ``queue_timeout``
+        behind at most ``queue_limit`` other waiters) or raises
+        :class:`ServiceOverloadedError`; exiting releases the slot.
+        """
+        return _Admission(self)
+
+    def _acquire(self) -> None:
+        # Fast path: a free slot admits immediately, without joining
+        # the wait line — so ``queue_limit=0`` means "no waiting", not
+        # "no admissions".
+        if self._slots.acquire(blocking=False):
+            with self._state:
+                self._in_flight += 1
+            return
+        with self._state:
+            if self._waiting >= self.queue_limit:
+                self._shed += 1
+                raise ServiceOverloadedError(
+                    self.retry_after,
+                    f"wait line full ({self.queue_limit} already queued "
+                    f"behind {self.max_in_flight} in flight)",
+                )
+            self._waiting += 1
+        try:
+            acquired = self._slots.acquire(timeout=self.queue_timeout)
+        finally:
+            with self._state:
+                self._waiting -= 1
+        if not acquired:
+            with self._state:
+                self._shed += 1
+            raise ServiceOverloadedError(
+                self.retry_after,
+                f"no execution slot freed within {self.queue_timeout:g}s "
+                f"({self.max_in_flight} in flight)",
+            )
+        with self._state:
+            self._in_flight += 1
+
+    def _release(self) -> None:
+        self._slots.release()
+        with self._state:
+            self._in_flight -= 1
+            self._state.notify_all()
+
+    def drained(self, deadline: Deadline) -> bool:
+        """Wait for every admitted request to finish, bounded by ``deadline``.
+
+        Returns ``True`` once the in-flight count reaches zero, or
+        ``False`` when the deadline expires first — the crash-only
+        shutdown path then abandons the stragglers instead of hanging.
+        New admissions during the wait are the caller's problem: stop
+        accepting first, then drain.
+        """
+        with self._state:
+            while self._in_flight > 0:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    return False
+                self._state.wait(
+                    timeout=None if remaining == float("inf") else remaining
+                )
+            return True
+
+
+class _Admission:
+    """The per-request slot handle (see :meth:`AdmissionController.admit`)."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: AdmissionController) -> None:
+        self._controller = controller
+
+    def __enter__(self) -> "_Admission":
+        self._controller._acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._controller._release()

@@ -1,0 +1,705 @@
+"""The serving core: one warm index, many concurrent requests.
+
+:class:`JoinService` owns the expensive state — the collection, the
+:class:`~repro.core.search.SimilaritySearcher` (segment index + shared
+:class:`~repro.core.context.CollectionContext` feature caches) — and
+answers ``search`` / ``topk`` / ``mini-join`` requests from any number
+of threads. Transport (HTTP, a test calling methods directly) lives
+elsewhere; every robustness decision that is about *answers* lives
+here:
+
+**Per-request τ and k.** τ is a pure threshold change and reuses the
+shared engine verbatim (:meth:`JoinConfig.with_tau`). A non-native k
+cannot reuse the segment index (it is physically built per k), so such
+requests run the paper's FCT/CT/T variant over a per-request
+length-filter source (:meth:`JoinConfig.with_request_k`) — same
+answers as an offline run of that variant, documented cost.
+
+**The degradation ladder.** Tier 0 is the exact pipeline — responses
+byte-identical to the offline drivers. When the request deadline comes
+under pressure (less than ``degrade_margin`` of the budget left), the
+remaining candidates switch to the Hoeffding-bounded sampling verifier
+(:func:`repro.verify.sampling.sampled_verify_threshold`, deterministic
+per-pair seed) and the response is flagged ``degraded: true`` — an
+approximate answer in time beats an exact answer too late, but only
+ever labelled as such. Tier 2 is hard expiry: a typed
+``deadline_exceeded`` error carrying the partial results, raised by
+the cooperative check points, never a hang.
+
+**Warm reload.** :meth:`reload` builds and validates a complete new
+generation (collection re-read, optional index snapshot header-checked
+against the serving config before postings load) while the old one
+keeps serving; the swap is a single reference assignment, and *any*
+failure — corrupt snapshot, unreadable file, malformed record — leaves
+the old generation in place and returns a typed ``reload_failed``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
+
+from repro.core.config import JoinConfig
+from repro.core.context import CollectionContext
+from repro.core.deadline import Deadline, deadline_scope
+from repro.core.engine import JoinEngine, LengthBandSource
+from repro.core.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+)
+from repro.core.pipeline import StageChain
+from repro.core.results import SearchMatch
+from repro.core.search import QUERY_ID, SimilaritySearcher
+from repro.core.stats import JoinStatistics
+from repro.datasets.loader import load_collection
+from repro.index.persistence import load_index, peek_index_meta
+from repro.serve.protocol import error_document, match_document
+from repro.uncertain.parser import UncertainStringSyntaxError, parse_uncertain
+from repro.uncertain.string import UncertainString
+from repro.verify.sampling import sampled_verify_threshold
+
+__all__ = ["JoinService", "ServeOptions"]
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Robustness knobs of the serving layer.
+
+    Parameters
+    ----------
+    max_in_flight / queue_limit / queue_timeout / retry_after:
+        Admission control; see
+        :class:`~repro.serve.admission.AdmissionController`.
+    request_timeout:
+        Default per-request deadline in seconds (a request may ask for
+        less via its ``timeout`` field; asking for more is capped here
+        — the server's budget is not client-negotiable upward).
+    degrade_margin:
+        Fraction of the request budget below which the verifier
+        degrades to sampling. ``0`` disables degradation (requests run
+        exact until they hit the hard deadline).
+    degrade_max_samples:
+        Sample budget per degraded pair (small by design: degradation
+        exists to finish fast).
+    degrade_delta:
+        Hoeffding confidence parameter of the degraded verifier.
+    sampling_seed:
+        Global seed mixed into each degraded pair's deterministic RNG,
+        so a degraded answer is reproducible for a given (seed, query,
+        candidate).
+    drain_timeout:
+        Crash-only shutdown: how long to wait for in-flight requests
+        before abandoning them.
+    fault_spec:
+        Request-path fault plan (``slow@I/SECONDS``, ``drop@I``,
+        ``corrupt-resp@I``, ``crash@I``) in
+        :meth:`repro.util.faults.FaultPlan.from_spec` syntax; testing
+        hook, ``None`` injects nothing.
+    """
+
+    max_in_flight: int = 8
+    queue_limit: int = 16
+    queue_timeout: float = 0.25
+    retry_after: float = 0.5
+    request_timeout: float = 5.0
+    degrade_margin: float = 0.25
+    degrade_max_samples: int = 2048
+    degrade_delta: float = 1e-3
+    sampling_seed: int = 0
+    drain_timeout: float = 5.0
+    fault_spec: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be positive, got {self.request_timeout}"
+            )
+        if not 0.0 <= self.degrade_margin < 1.0:
+            raise ConfigurationError(
+                f"degrade_margin must be in [0, 1), got {self.degrade_margin}"
+            )
+        if self.degrade_max_samples < 1:
+            raise ConfigurationError(
+                "degrade_max_samples must be >= 1, "
+                f"got {self.degrade_max_samples}"
+            )
+        if not 0.0 < self.degrade_delta < 1.0:
+            raise ConfigurationError(
+                f"degrade_delta must be in (0, 1), got {self.degrade_delta}"
+            )
+        if self.drain_timeout <= 0:
+            raise ConfigurationError(
+                f"drain_timeout must be positive, got {self.drain_timeout}"
+            )
+
+
+class _Generation:
+    """One immutable serving generation: collection + warm searcher.
+
+    A request snapshots ``service._state`` once and works against that
+    object for its whole lifetime, so a concurrent reload can swap the
+    service's reference without ever changing state under a request.
+    """
+
+    def __init__(
+        self,
+        collection: Sequence[UncertainString],
+        config: JoinConfig,
+        generation: int,
+        collection_path: "str | None" = None,
+        index_path: "str | None" = None,
+        index: Any = None,
+    ) -> None:
+        self.collection = list(collection)
+        self.config = config
+        self.generation = generation
+        self.collection_path = collection_path
+        self.index_path = index_path
+        self.context = CollectionContext()
+        self.searcher = SimilaritySearcher(
+            self.collection, config, context=self.context, index=index
+        )
+        # Exact twin of the searcher's chain for ranking work (top-k
+        # needs exact probabilities); shares the feature context, so
+        # profiles computed by either chain serve both.
+        self.exact_chain = StageChain(
+            config, force_exact=True, context=self.context
+        )
+
+
+def _pair_seed(seed: int, query_text: str, candidate_id: int) -> int:
+    """Deterministic RNG seed for one degraded (query, candidate) pair."""
+    digest = hashlib.sha256(
+        f"{seed}|{candidate_id}|{query_text}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class JoinService:
+    """Thread-safe query service over one (reloadable) collection.
+
+    All methods return JSON-ready documents; failures inside a request
+    surface as the typed error documents of
+    :mod:`repro.serve.protocol`, raised exceptions are limited to
+    programming errors. Construction is the expensive step (index
+    build); requests share the warm state.
+    """
+
+    def __init__(
+        self,
+        collection: Sequence[UncertainString],
+        config: JoinConfig,
+        options: "ServeOptions | None" = None,
+        collection_path: "str | None" = None,
+        index_path: "str | None" = None,
+        index: Any = None,
+    ) -> None:
+        # Serving is in-thread and serial per request: the banded
+        # multiprocess driver's knobs don't apply here.
+        self._config = replace(
+            config, workers=1, checkpoint_dir=None, shard=None, fault_spec=None
+        )
+        self.options = options if options is not None else ServeOptions()
+        self.stats = JoinStatistics(total_strings=len(collection))
+        self.draining = False
+        self._swap_lock = threading.Lock()
+        self._state = _Generation(
+            collection,
+            self._config,
+            generation=0,
+            collection_path=collection_path,
+            index_path=index_path,
+            index=index,
+        )
+
+    @classmethod
+    def from_files(
+        cls,
+        collection_path: str,
+        config: JoinConfig,
+        options: "ServeOptions | None" = None,
+        index_path: "str | None" = None,
+    ) -> "JoinService":
+        """Build a service from a collection file (+ optional snapshot)."""
+        collection = load_collection(collection_path)
+        index = None
+        if index_path is not None:
+            _validate_snapshot(index_path, config, len(collection))
+            index = load_index(index_path)
+        return cls(
+            collection,
+            config,
+            options,
+            collection_path=collection_path,
+            index_path=index_path,
+            index=index,
+        )
+
+    @property
+    def generation(self) -> int:
+        """The serving generation (bumped by every successful reload)."""
+        return self._state.generation
+
+    @property
+    def config(self) -> JoinConfig:
+        """The (serialized-execution) serving configuration."""
+        return self._config
+
+    def __len__(self) -> int:
+        return len(self._state.collection)
+
+    # ------------------------------------------------------------------
+    # request endpoints
+
+    def search(
+        self,
+        query_text: str,
+        tau: "float | None" = None,
+        k: "int | None" = None,
+        timeout: "float | None" = None,
+    ) -> dict[str, Any]:
+        """All collection strings similar to the query under (k, τ).
+
+        Exact answers are byte-identical (through the wire encoding) to
+        :meth:`SimilaritySearcher.search` offline; degraded and partial
+        answers are flagged as such.
+        """
+        state = self._state
+        self.stats.record("serve", "requests")
+        try:
+            query = _parse_query(query_text)
+            request_config = _request_config(state.config, tau, k)
+        except ConfigurationError as exc:
+            return error_document("bad_request", str(exc))
+        deadline = self._deadline(timeout)
+        matches: list[SearchMatch] = []
+        degraded = False
+        try:
+            with deadline_scope(deadline):
+                degraded = self._collect_matches(
+                    state, query, query_text, request_config, deadline, matches
+                )
+        except DeadlineExceededError as exc:
+            return self._deadline_error(
+                exc, [match_document(m) for m in sorted(matches)]
+            )
+        matches.sort()
+        return {
+            "matches": [match_document(m) for m in matches],
+            "count": len(matches),
+            "tau": request_config.tau,
+            "k": request_config.k,
+            "algorithm": request_config.algorithm_name,
+            "degraded": degraded,
+            "generation": state.generation,
+        }
+
+    def topk(
+        self,
+        query_text: str,
+        count: int,
+        k: "int | None" = None,
+        timeout: "float | None" = None,
+    ) -> dict[str, Any]:
+        """The ``count`` collection strings most probably similar.
+
+        Adaptive-threshold ranking (the top-N join's τ ladder applied
+        to one probe): τ starts at 0 and rises to the current N-th best
+        probability, so every stage prunes against it. Exact mode ranks
+        by exact probabilities; degraded mode ranks by the sampling
+        estimate (flagged).
+        """
+        state = self._state
+        self.stats.record("serve", "requests")
+        if count <= 0:
+            return error_document(
+                "bad_request", f"count must be positive, got {count}"
+            )
+        try:
+            query = _parse_query(query_text)
+            request_config = _request_config(state.config, None, k)
+        except ConfigurationError as exc:
+            return error_document("bad_request", str(exc))
+        deadline = self._deadline(timeout)
+        # Min-heap of (probability, candidate_id); heap[0] is the cut.
+        best: list[tuple[float, int]] = []
+
+        def current_tau() -> float:
+            return best[0][0] if len(best) == count else 0.0
+
+        degraded = False
+        try:
+            with deadline_scope(deadline):
+                degraded = self._collect_topk(
+                    state, query, query_text, request_config, deadline,
+                    current_tau, best, count,
+                )
+        except DeadlineExceededError as exc:
+            return self._deadline_error(exc, _topk_documents(best))
+        return {
+            "matches": _topk_documents(best),
+            "count": len(best),
+            "requested": count,
+            "k": request_config.k,
+            "algorithm": request_config.algorithm_name,
+            "degraded": degraded,
+            "generation": state.generation,
+        }
+
+    def mini_join(
+        self,
+        strings_text: Sequence[str],
+        tau: "float | None" = None,
+        k: "int | None" = None,
+        timeout: "float | None" = None,
+    ) -> dict[str, Any]:
+        """Self-join the request's own strings under (k, τ).
+
+        Runs the serial streaming engine over the request payload (ids
+        are positions in the request list) — identical pairs to an
+        offline ``repro-join join`` of the same strings. Bounded by the
+        request deadline through the chain's cooperative check points;
+        no sampling tier (the answer is pairs, not a racing scan, so
+        expiry returns the partial pair list instead).
+        """
+        state = self._state
+        self.stats.record("serve", "requests")
+        try:
+            strings = [_parse_query(text) for text in strings_text]
+            request_config = _request_config(state.config, tau, k)
+        except ConfigurationError as exc:
+            return error_document("bad_request", str(exc))
+        deadline = self._deadline(timeout)
+        pairs: list[dict[str, Any]] = []
+        try:
+            with deadline_scope(deadline):
+                for pair in JoinEngine(request_config, stats=self.stats).join(
+                    strings
+                ):
+                    deadline.check()
+                    pairs.append(
+                        {
+                            "left": pair.left_id,
+                            "right": pair.right_id,
+                            "probability": pair.probability,
+                        }
+                    )
+        except DeadlineExceededError as exc:
+            return self._deadline_error(exc, _sorted_pairs(pairs))
+        return {
+            "pairs": _sorted_pairs(pairs),
+            "count": len(pairs),
+            "tau": request_config.tau,
+            "k": request_config.k,
+            "algorithm": request_config.algorithm_name,
+            "degraded": False,
+            "generation": state.generation,
+        }
+
+    # ------------------------------------------------------------------
+    # reload / introspection
+
+    def reload(
+        self,
+        collection_path: "str | None" = None,
+        index_path: "str | None" = None,
+    ) -> dict[str, Any]:
+        """Swap in a freshly built generation; keep the old one on failure.
+
+        The new collection (and optional index snapshot) is read and
+        fully validated *before* the swap — requests keep hitting the
+        old generation throughout, and the swap itself is one reference
+        assignment, so there is no window where a request sees a
+        half-built state. Every failure path returns a typed
+        ``reload_failed`` document with the old generation intact.
+        """
+        with self._swap_lock:
+            old = self._state
+            source = collection_path or old.collection_path
+            if source is None:
+                self.stats.record("serve", "reload_failed")
+                return error_document(
+                    "reload_failed",
+                    "service was built from an in-memory collection; "
+                    "pass a collection path to reload",
+                    generation=old.generation,
+                )
+            snapshot = index_path if index_path is not None else old.index_path
+            try:
+                collection = load_collection(source)
+                index = None
+                if snapshot is not None:
+                    _validate_snapshot(snapshot, self._config, len(collection))
+                    index = load_index(snapshot)
+                fresh = _Generation(
+                    collection,
+                    self._config,
+                    generation=old.generation + 1,
+                    collection_path=source,
+                    index_path=snapshot,
+                    index=index,
+                )
+            except (ReproError, OSError) as exc:
+                self.stats.record("serve", "reload_failed")
+                return error_document(
+                    "reload_failed",
+                    f"{type(exc).__name__}: {exc}",
+                    generation=old.generation,
+                )
+            self._state = fresh
+            self.stats.total_strings = len(fresh.collection)
+            self.stats.record("serve", "reloaded")
+            return {
+                "reloaded": True,
+                "generation": fresh.generation,
+                "strings": len(fresh.collection),
+                "collection": source,
+                "index": snapshot,
+            }
+
+    def status_document(self) -> dict[str, Any]:
+        """The ``/stats`` payload: counters + serving-state snapshot."""
+        state = self._state
+        return {
+            "generation": state.generation,
+            "strings": len(state.collection),
+            "algorithm": state.config.algorithm_name,
+            "k": state.config.k,
+            "tau": state.config.tau,
+            "draining": self.draining,
+            "counters": self.stats.counter_report(),
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _deadline(self, timeout: "float | None") -> Deadline:
+        """The request deadline: client ask, capped by the server cap."""
+        cap = self.options.request_timeout
+        if timeout is None:
+            return Deadline(cap)
+        return Deadline(min(timeout, cap))
+
+    def _deadline_error(
+        self, exc: DeadlineExceededError, partial: list[dict[str, Any]]
+    ) -> dict[str, Any]:
+        self.stats.record("serve", "deadline_exceeded")
+        return error_document(
+            "deadline_exceeded",
+            str(exc),
+            partial=True,
+            matches=partial,
+        )
+
+    def _request_source(
+        self,
+        state: _Generation,
+        request_config: JoinConfig,
+    ) -> tuple[Any, Any]:
+        """``(engine_like, candidate source)`` for one request's config.
+
+        The native k reuses the shared searcher (segment index, warm
+        profiles). A non-native k builds a request-local length-filter
+        source over the shared collection — bookkeeping only, no
+        segmentation, features still resolved through the generation's
+        shared context by the chain.
+        """
+        if request_config.k == state.config.k:
+            engine = state.searcher.engine
+            return engine, engine.source
+        source = LengthBandSource(request_config.k)
+        throwaway = JoinStatistics()
+        order = sorted(
+            range(len(state.collection)),
+            key=lambda i: (len(state.collection[i]), i),
+        )
+        for string_id in order:
+            source.add(string_id, state.collection[string_id], throwaway)
+        return state, source
+
+    def _collect_matches(
+        self,
+        state: _Generation,
+        query: UncertainString,
+        query_text: str,
+        request_config: JoinConfig,
+        deadline: Deadline,
+        out: list[SearchMatch],
+    ) -> bool:
+        """Tier 0/1 of the ladder; appends into ``out`` so partial
+        results survive a hard expiry. Returns the degraded flag."""
+        stats = self.stats
+        holder, source = self._request_source(state, request_config)
+        if request_config.k == state.config.k:
+            chain = holder.chain
+            string_of = holder.string
+        else:
+            chain = StageChain(request_config, context=state.context)
+            string_of = lambda cid: state.collection[cid]  # noqa: E731
+        threshold = request_config.tau
+        provider = lambda: threshold  # noqa: E731
+        context = chain.context(QUERY_ID, query)
+        candidates = source.probe(query, threshold, stats)
+        degraded = False
+        for candidate_id, upper in candidates:
+            deadline.check()
+            if not degraded and self.options.degrade_margin > 0:
+                if deadline.under_pressure(self.options.degrade_margin):
+                    degraded = True
+                    stats.record("serve", "degraded")
+            if degraded:
+                decision = self._sampled(
+                    query, query_text, string_of(candidate_id),
+                    candidate_id, request_config.k, threshold,
+                )
+                if decision.similar:
+                    out.append(SearchMatch(candidate_id, None))
+            else:
+                similar, probability = chain.refine(
+                    context, candidate_id, string_of(candidate_id),
+                    provider, stats, upper,
+                )
+                if similar:
+                    out.append(SearchMatch(candidate_id, probability))
+        return degraded
+
+    def _collect_topk(
+        self,
+        state: _Generation,
+        query: UncertainString,
+        query_text: str,
+        request_config: JoinConfig,
+        deadline: Deadline,
+        current_tau: Any,
+        best: list[tuple[float, int]],
+        count: int,
+    ) -> bool:
+        stats = self.stats
+        holder, source = self._request_source(state, request_config)
+        if request_config.k == state.config.k:
+            chain = state.exact_chain
+            string_of = holder.string
+        else:
+            chain = StageChain(
+                request_config, force_exact=True, context=state.context
+            )
+            string_of = lambda cid: state.collection[cid]  # noqa: E731
+        context = chain.context(QUERY_ID, query)
+        candidates = source.probe(query, current_tau(), stats)
+        degraded = False
+        for candidate_id, upper in candidates:
+            deadline.check()
+            if not degraded and self.options.degrade_margin > 0:
+                if deadline.under_pressure(self.options.degrade_margin):
+                    degraded = True
+                    stats.record("serve", "degraded")
+            if degraded:
+                decision = self._sampled(
+                    query, query_text, string_of(candidate_id),
+                    candidate_id, request_config.k, current_tau(),
+                )
+                if decision.similar:
+                    heapq.heappush(best, (decision.estimate, candidate_id))
+                    if len(best) > count:
+                        heapq.heappop(best)
+            else:
+                similar, probability = chain.refine(
+                    context, candidate_id, string_of(candidate_id),
+                    current_tau, stats, upper,
+                )
+                if similar and probability is not None:
+                    heapq.heappush(best, (probability, candidate_id))
+                    if len(best) > count:
+                        heapq.heappop(best)
+        return degraded
+
+    def _sampled(
+        self,
+        query: UncertainString,
+        query_text: str,
+        candidate: UncertainString,
+        candidate_id: int,
+        k: int,
+        tau: float,
+    ) -> Any:
+        """One degraded-tier verification (deterministic per-pair RNG)."""
+        self.stats.record("serve", "sampled")
+        return sampled_verify_threshold(
+            query,
+            candidate,
+            k,
+            tau,
+            delta=self.options.degrade_delta,
+            max_samples=self.options.degrade_max_samples,
+            rng=_pair_seed(self.options.sampling_seed, query_text, candidate_id),
+        )
+
+
+def _parse_query(text: str) -> UncertainString:
+    """Parse request notation, folding syntax errors into bad_request."""
+    try:
+        return parse_uncertain(text)
+    except UncertainStringSyntaxError as exc:
+        raise ConfigurationError(f"bad uncertain string {text!r}: {exc}") from exc
+
+
+def _request_config(
+    base: JoinConfig, tau: "float | None", k: "int | None"
+) -> JoinConfig:
+    """``base`` specialized to one request's τ/k (validation included)."""
+    config = base
+    if tau is not None:
+        config = config.with_tau(tau)
+    if k is not None:
+        config = config.with_request_k(k)
+    return config
+
+
+def _topk_documents(best: list[tuple[float, int]]) -> list[dict[str, Any]]:
+    """Heap contents as ranked wire documents (probability desc)."""
+    return [
+        {"id": candidate_id, "probability": probability}
+        for probability, candidate_id in sorted(best, reverse=True)
+    ]
+
+
+def _sorted_pairs(pairs: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    return sorted(pairs, key=lambda p: (p["left"], p["right"]))
+
+
+def _validate_snapshot(
+    path: str, config: JoinConfig, collection_size: int
+) -> None:
+    """Header-check an index snapshot against the serving config.
+
+    Catches the cheap-to-detect mismatches (wrong k/q/index knobs,
+    wrong collection size) *before* postings are parsed, so a reload
+    pointed at the wrong snapshot fails fast and typed.
+    """
+    from repro.core.errors import CheckpointMismatchError
+
+    meta = peek_index_meta(path)
+    expected = {
+        "k": config.k,
+        "q": config.q,
+        "selection": config.selection,
+        "group_mode": config.group_mode,
+        "bound_mode": config.bound_mode,
+    }
+    actual = {key: meta.get(key) for key in expected}
+    if actual != expected:
+        raise CheckpointMismatchError(
+            str(path),
+            f"index snapshot was built under {actual}, "
+            f"serving config needs {expected}",
+        )
+    if meta.get("last_id") != collection_size - 1:
+        raise CheckpointMismatchError(
+            str(path),
+            f"index snapshot covers {meta.get('last_id', -1) + 1} string(s), "
+            f"collection has {collection_size}",
+        )

@@ -24,6 +24,18 @@ Four fault kinds:
     Make the band call return garbage instead of a band result — the
     failure mode of silent data corruption in transit.
 
+The serve layer (:mod:`repro.serve`) reuses the same plan/spec
+machinery against its *request path*: the target index is the 0-based
+request arrival order instead of a band index, and three
+request-targeted kinds join the grammar — ``slow@I/SECONDS`` (stall
+request ``I`` mid-handling while its deadline keeps running),
+``drop@I`` (close the connection without a response), and
+``corrupt-resp@I`` (send a garbled response body). ``crash`` doubles
+as a request fault (an exception inside the handler, which must
+surface as a typed 500, never kill the server); the band executor
+ignores the request-only kinds, so one spec string can drive both
+layers.
+
 The textual spec format (CLI ``--inject-faults``, config
 ``fault_spec``) is a comma-separated list of ``KIND@BAND`` entries with
 optional ``xTIMES`` (how many attempts fault, starting from the first;
@@ -48,10 +60,19 @@ import re
 import time
 from dataclasses import dataclass
 
-KINDS = ("crash", "abort", "hang", "corrupt")
+#: Band-executor fault kinds (injected inside ``_band_call``).
+BAND_KINDS = ("crash", "abort", "hang", "corrupt")
+#: Request-path fault kinds (interpreted by the serve layer, targeted
+#: by request arrival index instead of band index): ``slow`` stalls the
+#: request ``seconds`` before processing (its deadline keeps running),
+#: ``drop`` closes the connection without a response, ``corrupt-resp``
+#: sends a deliberately garbled response body. The band executor
+#: treats them as no-ops, so one spec string can drive both layers.
+REQUEST_KINDS = ("slow", "drop", "corrupt-resp")
+KINDS = BAND_KINDS + REQUEST_KINDS
 
 _SPEC_PATTERN = re.compile(
-    r"^(?P<kind>[a-z]+)@(?:s(?P<shard>\d+):)?(?P<band>\d+)"
+    r"^(?P<kind>[a-z][a-z-]*)@(?:s(?P<shard>\d+):)?(?P<band>\d+)"
     r"(?:x(?P<times>\d+))?"
     r"(?:/(?P<seconds>\d+(?:\.\d+)?))?$"
 )
@@ -171,6 +192,15 @@ class FaultPlan:
                 return spec
         return None
 
+    def request_fault(self, request_index: int) -> FaultSpec | None:
+        """The first spec firing for the request path's coordinates.
+
+        The serve layer targets faults by 0-based request arrival
+        index; a request has exactly one attempt, so only attempt 0 is
+        consulted. Shard-qualified specs stay inert here too.
+        """
+        return self.fault_for(request_index, 0)
+
     def narrowed(self, shard_index: int) -> "FaultPlan":
         """The plan as seen from inside shard ``shard_index``.
 
@@ -203,7 +233,9 @@ def inject(spec: FaultSpec, attempt: int) -> None:
     ``crash`` raises, ``abort`` kills the current process, ``hang``
     sleeps (then returns — a hang is a delay, the band still runs);
     ``corrupt`` is a no-op here because the *caller* must fabricate the
-    garbage return value.
+    garbage return value. The request-only kinds (``slow``, ``drop``,
+    ``corrupt-resp``) are no-ops too: the serve layer interprets them
+    at its own injection sites.
     """
     if spec.kind == "crash":
         raise InjectedCrashError(spec.band, attempt)

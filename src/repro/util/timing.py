@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import threading
 import time
+from typing import Any
 
 
 class Stopwatch:
@@ -15,18 +17,39 @@ class Stopwatch:
     for the same stage, one inside the other): a depth counter tracks the
     nesting and only the outermost ``stop()`` accrues the interval, so
     the outer block's tail is never lost and no time is double-counted.
+
+    All state transitions are lock-guarded, so concurrent threads timing
+    the same stage (a served request fan-out) can never lose an update
+    or leave the depth counter torn. Concurrent intervals accrue like
+    nested ones — the first ``start`` opens the interval and the last
+    ``stop`` closes it (their *union*, not their sum), which is the
+    meaningful wall-clock attribution for overlapping work in one
+    process. The lock is deliberately not part of the pickled state:
+    stopwatches cross process boundaries inside band results, and each
+    process re-creates its own lock on unpickle.
     """
 
     def __init__(self) -> None:
         self._elapsed = 0.0
         self._started_at: float | None = None
         self._depth = 0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def start(self) -> "Stopwatch":
         """Begin (or re-enter) timing; returns self so it can be chained."""
-        self._depth += 1
-        if self._started_at is None:
-            self._started_at = time.perf_counter()
+        with self._lock:
+            self._depth += 1
+            if self._started_at is None:
+                self._started_at = time.perf_counter()
         return self
 
     def stop(self) -> float:
@@ -34,12 +57,13 @@ class Stopwatch:
 
         Returns the total elapsed seconds accumulated so far.
         """
-        if self._depth > 0:
-            self._depth -= 1
-        if self._depth == 0 and self._started_at is not None:
-            self._elapsed += time.perf_counter() - self._started_at
-            self._started_at = None
-        return self._elapsed
+        with self._lock:
+            if self._depth > 0:
+                self._depth -= 1
+            if self._depth == 0 and self._started_at is not None:
+                self._elapsed += time.perf_counter() - self._started_at
+                self._started_at = None
+            return self._elapsed
 
     @property
     def depth(self) -> int:
@@ -50,14 +74,16 @@ class Stopwatch:
         """Fold externally measured time into this stopwatch's total."""
         if seconds < 0:
             raise ValueError(f"seconds must be non-negative, got {seconds}")
-        self._elapsed += seconds
+        with self._lock:
+            self._elapsed += seconds
 
     @property
     def elapsed(self) -> float:
         """Total accumulated seconds (including a currently running interval)."""
-        if self._started_at is not None:
-            return self._elapsed + (time.perf_counter() - self._started_at)
-        return self._elapsed
+        with self._lock:
+            if self._started_at is not None:
+                return self._elapsed + (time.perf_counter() - self._started_at)
+            return self._elapsed
 
     def __enter__(self) -> "Stopwatch":
         return self.start()

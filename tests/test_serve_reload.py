@@ -1,0 +1,275 @@
+"""Warm-reload tests: atomic generation swap, corrupt-snapshot safety.
+
+The serving invariants under reload: requests never observe a
+half-built generation (the swap is one reference assignment behind a
+fully validated build), a failed reload — missing file, malformed
+records, corrupt or mismatched index snapshot — leaves the old
+generation serving and returns a typed ``reload_failed`` document, and
+an index snapshot round-trips to byte-identical answers.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.errors import CheckpointCorruptError, CheckpointMismatchError
+from repro.core.search import SimilaritySearcher
+from repro.datasets.loader import save_collection
+from repro.datasets.presets import dblp_like_collection
+from repro.index.persistence import peek_index_meta, save_index
+from repro.serve.http import ServerRunner
+from repro.serve.protocol import encode_document
+from repro.serve.service import JoinService, _validate_snapshot
+from repro.uncertain.parser import format_uncertain
+
+
+def make_config():
+    return JoinConfig.for_algorithm(
+        "QFCT", k=2, tau=0.1, q=3, report_probabilities=True
+    )
+
+
+def make_collection(size, rng):
+    return dblp_like_collection(
+        size, theta=0.2, rng=rng, max_uncertain_positions=4
+    )
+
+
+def query_text(string):
+    # precision=12: the parser's probability-sum tolerance is 1e-6.
+    return format_uncertain(string, precision=12)
+
+
+class TestReload:
+    def test_reload_swaps_generation_and_answers(self, tmp_path):
+        old = make_collection(24, rng=3)
+        new = make_collection(32, rng=4)
+        old_path, new_path = tmp_path / "old.txt", tmp_path / "new.txt"
+        save_collection(old, old_path, precision=12)
+        save_collection(new, new_path, precision=12)
+        service = JoinService.from_files(str(old_path), make_config())
+        assert service.generation == 0 and len(service) == 24
+
+        document = service.reload(collection_path=str(new_path))
+        assert document["reloaded"] is True
+        assert document["generation"] == 1
+        assert document["strings"] == 32
+        assert len(service) == 32
+        # Answers now come from the new generation and agree with an
+        # offline searcher over the same *file* (save/parse normalizes
+        # the probability floats, so the baseline must read it too).
+        from repro.datasets.loader import load_collection
+        from repro.uncertain.parser import parse_uncertain
+
+        loaded = load_collection(str(new_path))
+        searcher = SimilaritySearcher(loaded, make_config())
+        text = query_text(new[0])
+        answer = service.search(text)
+        assert answer["generation"] == 1
+        offline = sorted(
+            (m.string_id, m.probability)
+            for m in searcher.search(parse_uncertain(text)).matches
+        )
+        assert sorted(
+            (m["id"], m["probability"]) for m in answer["matches"]
+        ) == offline
+
+    def test_in_memory_service_needs_a_path(self):
+        service = JoinService(make_collection(12, rng=3), make_config())
+        document = service.reload()
+        assert document["error"]["type"] == "reload_failed"
+        assert document["error"]["generation"] == 0
+
+    def test_missing_file_keeps_old_generation(self, tmp_path):
+        collection = make_collection(16, rng=3)
+        path = tmp_path / "c.txt"
+        save_collection(collection, path, precision=12)
+        service = JoinService.from_files(str(path), make_config())
+        before = service.search(query_text(collection[0]))
+        document = service.reload(
+            collection_path=str(tmp_path / "nope.txt")
+        )
+        assert document["error"]["type"] == "reload_failed"
+        assert service.generation == 0
+        assert service.search(query_text(collection[0])) == before
+
+    def test_malformed_collection_keeps_old_generation(self, tmp_path):
+        collection = make_collection(16, rng=3)
+        path = tmp_path / "c.txt"
+        save_collection(collection, path, precision=12)
+        service = JoinService.from_files(str(path), make_config())
+        bad = tmp_path / "bad.txt"
+        bad.write_text("valid{\n", encoding="utf-8")
+        document = service.reload(collection_path=str(bad))
+        assert document["error"]["type"] == "reload_failed"
+        assert service.generation == 0 and len(service) == 16
+
+
+class TestSnapshots:
+    def test_index_snapshot_round_trips_byte_identically(self, tmp_path):
+        collection = make_collection(24, rng=5)
+        config = make_config()
+        path = tmp_path / "c.txt"
+        save_collection(collection, path, precision=12)
+        fresh = JoinService.from_files(str(path), config)
+        snapshot = tmp_path / "index.json"
+        save_index(fresh._state.searcher.engine.source.index, snapshot)
+
+        warmed = JoinService.from_files(
+            str(path), config, index_path=str(snapshot)
+        )
+        for string in collection[:4]:
+            text = query_text(string)
+            assert encode_document(warmed.search(text)) == encode_document(
+                fresh.search(text)
+            )
+
+    def test_peek_index_meta_reads_header_only(self, tmp_path):
+        collection = make_collection(16, rng=5)
+        config = make_config()
+        path = tmp_path / "c.txt"
+        save_collection(collection, path, precision=12)
+        service = JoinService.from_files(str(path), config)
+        snapshot = tmp_path / "index.json"
+        save_index(service._state.searcher.engine.source.index, snapshot)
+        meta = peek_index_meta(snapshot)
+        assert meta["k"] == config.k
+        assert meta["q"] == config.q
+        assert meta["last_id"] == len(collection) - 1
+
+    def test_validate_snapshot_rejects_mismatches(self, tmp_path):
+        collection = make_collection(16, rng=5)
+        config = make_config()
+        path = tmp_path / "c.txt"
+        save_collection(collection, path, precision=12)
+        service = JoinService.from_files(str(path), config)
+        snapshot = tmp_path / "index.json"
+        save_index(service._state.searcher.engine.source.index, snapshot)
+        _validate_snapshot(snapshot, config, len(collection))
+        with pytest.raises(CheckpointMismatchError):
+            _validate_snapshot(
+                snapshot, config.with_request_k(3), len(collection)
+            )
+        with pytest.raises(CheckpointMismatchError):
+            _validate_snapshot(snapshot, config, len(collection) + 1)
+        with pytest.raises(CheckpointCorruptError):
+            _validate_snapshot(path, config, len(collection))
+
+    def test_corrupt_snapshot_keeps_old_generation(self, tmp_path):
+        collection = make_collection(16, rng=5)
+        config = make_config()
+        path = tmp_path / "c.txt"
+        save_collection(collection, path, precision=12)
+        service = JoinService.from_files(str(path), config)
+        snapshot = tmp_path / "index.json"
+        snapshot.write_text('{"magic": "nope"', encoding="utf-8")
+        document = service.reload(
+            collection_path=str(path), index_path=str(snapshot)
+        )
+        assert document["error"]["type"] == "reload_failed"
+        assert service.generation == 0
+        assert service.stats.serve_counts()["serve.reload_failed"] == 1
+
+
+class TestReloadUnderTraffic:
+    def test_requests_never_see_a_half_built_generation(self, tmp_path):
+        config = make_config()
+        generations = [make_collection(20 + 4 * i, rng=i) for i in range(4)]
+        paths = []
+        for i, collection in enumerate(generations):
+            p = tmp_path / f"gen{i}.txt"
+            save_collection(collection, p, precision=12)
+            paths.append(str(p))
+        service = JoinService.from_files(paths[0], config)
+        # One query text per generation; every generation's expected
+        # answer for each is computed up front — over the collections
+        # as *loaded from disk*, matching what the service serves.
+        from repro.datasets.loader import load_collection
+        from repro.uncertain.parser import parse_uncertain
+
+        texts = [query_text(g[0]) for g in generations]
+        expected = {}
+        for gen, path in enumerate(paths):
+            searcher = SimilaritySearcher(load_collection(path), config)
+            for text in texts:
+                expected[(gen, text)] = sorted(
+                    (m.string_id, m.probability)
+                    for m in searcher.search(parse_uncertain(text)).matches
+                )
+
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            i = 0
+            while not stop.is_set():
+                text = texts[i % len(texts)]
+                document = service.search(text)
+                if "error" in document:
+                    errors.append(f"error doc: {document}")
+                    return
+                got = sorted(
+                    (m["id"], m["probability"])
+                    for m in document["matches"]
+                )
+                want = expected[(document["generation"], text)]
+                if got != want:
+                    errors.append(
+                        f"generation {document['generation']} answered "
+                        f"{got!r}, expected {want!r}"
+                    )
+                    return
+                i += 1
+
+        workers = [threading.Thread(target=hammer) for _ in range(3)]
+        for worker in workers:
+            worker.start()
+        try:
+            for gen in (1, 2, 3):
+                document = service.reload(collection_path=paths[gen])
+                assert document["reloaded"] is True
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30.0)
+        assert errors == []
+        assert service.generation == 3
+
+    def test_http_admin_reload(self, tmp_path):
+        config = make_config()
+        old = make_collection(16, rng=8)
+        new = make_collection(20, rng=9)
+        old_path, new_path = tmp_path / "old.txt", tmp_path / "new.txt"
+        save_collection(old, old_path, precision=12)
+        save_collection(new, new_path, precision=12)
+        service = JoinService.from_files(str(old_path), config)
+        runner = ServerRunner(service).start()
+        try:
+            host, port = runner.address
+            connection = http.client.HTTPConnection(host, port, timeout=30.0)
+            connection.request(
+                "POST", "/admin/reload",
+                body=json.dumps({"collection": str(new_path)}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            document = json.loads(response.read())
+            assert response.status == 200
+            assert document["reloaded"] is True and document["generation"] == 1
+            # A failed reload over HTTP is a typed 500.
+            connection.request(
+                "POST", "/admin/reload",
+                body=json.dumps({"collection": str(tmp_path / "gone.txt")}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            document = json.loads(response.read())
+            assert response.status == 500
+            assert document["error"]["type"] == "reload_failed"
+            assert service.generation == 1
+            connection.close()
+        finally:
+            assert runner.shutdown()

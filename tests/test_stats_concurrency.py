@@ -1,0 +1,141 @@
+"""Concurrency hammers for the shared statistics sink.
+
+A long-running service folds every request thread's counters into one
+:class:`JoinStatistics`. These tests drive many threads through the
+mutating paths — ``record`` on both dedicated fields and stage
+counters, ``merge``, concurrent ``timer`` creation, stopwatch
+start/stop nesting — and then demand *exact* totals: a single lost
+update means a torn read-modify-write.
+"""
+
+import pickle
+import threading
+
+from repro.core.stats import JoinStatistics
+from repro.util.timing import Stopwatch
+
+THREADS = 8
+ITERATIONS = 2_000
+
+
+def hammer(worker, threads=THREADS):
+    crew = [
+        threading.Thread(target=worker, args=(i,), name=f"hammer-{i}")
+        for i in range(threads)
+    ]
+    for thread in crew:
+        thread.start()
+    for thread in crew:
+        thread.join()
+
+
+class TestRecordConcurrency:
+    def test_dedicated_field_counts_are_exact(self):
+        stats = JoinStatistics()
+
+        def worker(_i):
+            for _ in range(ITERATIONS):
+                stats.record("verification", "checked")
+
+        hammer(worker)
+        assert stats.verifications == THREADS * ITERATIONS
+
+    def test_stage_counter_counts_are_exact(self):
+        stats = JoinStatistics()
+
+        def worker(i):
+            for _ in range(ITERATIONS):
+                stats.record("serve", "requests")
+                stats.record("serve", f"worker_{i % 2}")
+
+        hammer(worker)
+        assert stats.stage_counters["serve.requests"] == THREADS * ITERATIONS
+        assert (
+            stats.stage_counters["serve.worker_0"]
+            + stats.stage_counters["serve.worker_1"]
+            == THREADS * ITERATIONS
+        )
+
+    def test_concurrent_merges_are_exact(self):
+        total = JoinStatistics()
+
+        def worker(_i):
+            for _ in range(50):
+                part = JoinStatistics()
+                part.record("verification", "checked", 7)
+                part.record("serve", "requests", 3)
+                total.merge(part)
+
+        hammer(worker)
+        assert total.verifications == THREADS * 50 * 7
+        assert total.stage_counters["serve.requests"] == THREADS * 50 * 3
+
+    def test_concurrent_timer_creation_yields_one_stopwatch(self):
+        stats = JoinStatistics()
+        seen: list[Stopwatch] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(THREADS)
+
+        def worker(_i):
+            barrier.wait()
+            watch = stats.timer("stage")
+            with lock:
+                seen.append(watch)
+
+        hammer(worker)
+        assert len({id(watch) for watch in seen}) == 1
+        assert stats.timers["stage"] is seen[0]
+
+
+class TestStopwatchConcurrency:
+    def test_nested_and_concurrent_intervals_never_tear(self):
+        watch = Stopwatch()
+        barrier = threading.Barrier(THREADS)
+
+        def worker(_i):
+            barrier.wait()
+            for _ in range(500):
+                watch.start()
+                watch.start()  # nested re-entry
+                watch.stop()
+                watch.stop()
+
+        hammer(worker)
+        # Balanced start/stop pairs from every thread: the depth
+        # counter must come back to exactly zero and the watch must be
+        # closed (no dangling open interval accruing forever).
+        assert watch.depth == 0
+        assert watch.elapsed >= 0.0
+        before = watch.elapsed
+        assert watch.stop() == before  # extra stop is a no-op
+
+    def test_add_is_exact_under_contention(self):
+        watch = Stopwatch()
+
+        def worker(_i):
+            for _ in range(ITERATIONS):
+                watch.add(0.001)
+
+        hammer(worker)
+        assert abs(watch.elapsed - THREADS * ITERATIONS * 0.001) < 1e-6
+
+
+class TestPickling:
+    def test_locks_survive_a_pickle_round_trip(self):
+        stats = JoinStatistics()
+        stats.record("serve", "requests", 5)
+        stats.timer("stage").start()
+        stats.timer("stage").stop()
+        clone = pickle.loads(pickle.dumps(stats))
+        # The clone has working (fresh) locks: mutating it from two
+        # threads still yields exact counts.
+
+        def worker(_i):
+            for _ in range(ITERATIONS):
+                clone.record("serve", "requests")
+
+        hammer(worker)
+        assert (
+            clone.stage_counters["serve.requests"]
+            == 5 + THREADS * ITERATIONS
+        )
