@@ -5,6 +5,12 @@ Four subcommands covering the end-to-end workflow on collection files
 
 * ``repro-join gen`` — generate a synthetic dataset (dblp-like or
   protein-like, Section 7 parameters).
+* ``repro-join index build`` / ``index info`` — build (and inspect) an
+  out-of-core SQLite index store from a collection file; ``join``,
+  ``search``, ``topk``, and ``serve`` accept ``--store PATH`` in place
+  of the collection argument and then run with peak memory bounded by
+  the hydration cache instead of the collection size (identical
+  output; see DESIGN.md §6i).
 * ``repro-join join`` — self-join a collection under (k, tau)-matching
   (``--stream`` prints pairs as the engine discovers them;
   ``--shard i/N --resume DIR`` runs one slice of the band plan as its
@@ -26,6 +32,9 @@ Four subcommands covering the end-to-end workflow on collection files
 Examples::
 
     repro-join gen --kind dblp --count 500 --theta 0.2 -o names.txt
+    repro-join index build names.txt -o names.store -k 2 -q 3
+    repro-join index info names.store
+    repro-join join --store names.store -k 2 --tau 0.1 -q 3
     repro-join join names.txt -k 2 --tau 0.1 --stats
     repro-join join names.txt -k 2 --tau 0.1 --stream
     repro-join join names.txt -k 2 --tau 0.1 --shard 0/3 --resume run/
@@ -90,6 +99,17 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--stats", action="store_true", help="print pipeline statistics"
+    )
+
+
+def _add_store_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="run against a prebuilt SQLite index store (see `repro-join "
+        "index build`) instead of a collection file: identical output, "
+        "peak memory bounded by the hydration cache (DESIGN.md §6i)",
     )
 
 
@@ -162,6 +182,38 @@ def _config(args: argparse.Namespace) -> JoinConfig:
     )
 
 
+def _require_one_input(args: argparse.Namespace, command: str) -> "int | None":
+    """Enforce "exactly one of COLLECTION or --store"; returns exit code."""
+    if (args.store is None) == (args.collection is None):
+        print(
+            f"{command}: pass exactly one of a collection file or "
+            "--store PATH",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
+def _open_store(path: str, command: str, config: "JoinConfig | None" = None):
+    """Open (and header-check) a store file; ``(None, exit code)`` on failure.
+
+    ``config`` additionally enforces the store/config (k, q) contract,
+    so an incompatible store fails with the typed rebuild hint instead
+    of a traceback.
+    """
+    from repro.core.errors import ReproError
+    from repro.store.sqlite import SqliteStore
+
+    try:
+        store = SqliteStore(path)
+        if config is not None:
+            store.meta.check_compatible(config)
+        return store, 0
+    except (ReproError, OSError) as exc:
+        print(f"{command}: {exc}", file=sys.stderr)
+        return None, 2
+
+
 def _cmd_gen(args: argparse.Namespace) -> int:
     if args.kind == "dblp":
         collection = dblp_like_collection(
@@ -184,8 +236,20 @@ def _print_pair(pair) -> None:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
-    collection = load_collection(args.collection)
+    failure = _require_one_input(args, "join")
+    if failure is not None:
+        return failure
     config = _config(args)
+    store = None
+    if args.store is not None:
+        store, code = _open_store(args.store, "join", config)
+        if store is None:
+            return code
+        total = len(store)
+        collection = None
+    else:
+        collection = load_collection(args.collection)
+        total = len(collection)
     if config.shard is not None:
         if args.stream:
             print("--shard and --stream are incompatible", file=sys.stderr)
@@ -193,7 +257,12 @@ def _cmd_join(args: argparse.Namespace) -> int:
         # The shard's outcome is partial (its slice of the band plan
         # only), so pairs are NOT printed — `repro-join merge RUN_DIR`
         # folds the shards and prints the full, serial-identical list.
-        outcome = similarity_join(collection, config)
+        if store is not None:
+            from repro.store.driver import store_similarity_join
+
+            outcome = store_similarity_join(store, config)
+        else:
+            outcome = similarity_join(collection, config)
         shard_index, shard_count = config.shard_coordinates or (0, 1)
         print(
             f"shard {shard_index}/{shard_count} complete: "
@@ -211,14 +280,25 @@ def _cmd_join(args: argparse.Namespace) -> int:
         # not sorted) — flushed line by line for downstream consumers.
         # Streaming is serial: banding and checkpointing don't apply.
         config = replace(config, workers=1, checkpoint_dir=None)
-        stats = JoinStatistics(total_strings=len(collection))
-        for pair in iter_join_pairs(collection, config, stats=stats):
+        stats = JoinStatistics(total_strings=total)
+        if store is not None:
+            from repro.store.driver import iter_store_join_pairs
+
+            pair_iter = iter_store_join_pairs(store, config, stats=stats)
+        else:
+            pair_iter = iter_join_pairs(collection, config, stats=stats)
+        for pair in pair_iter:
             _print_pair(pair)
             sys.stdout.flush()
         if args.stats:
             print(stats.summary(), file=sys.stderr)
         return 0
-    outcome = similarity_join(collection, config)
+    if store is not None:
+        from repro.store.driver import store_similarity_join
+
+        outcome = store_similarity_join(store, config)
+    else:
+        outcome = similarity_join(collection, config)
     for pair in outcome.pairs:
         _print_pair(pair)
     if args.stats:
@@ -227,13 +307,25 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
-    collection = load_collection(args.collection)
+    failure = _require_one_input(args, "topk")
+    if failure is not None:
+        return failure
     config = JoinConfig.for_algorithm(
         args.algorithm, k=args.k, tau=0.0, q=args.q
     )
-    outcome = top_k_join(
-        collection, k=args.k, count=args.count, q=args.q, config=config
-    )
+    if args.store is not None:
+        store, code = _open_store(args.store, "topk", config)
+        if store is None:
+            return code
+        outcome = top_k_join(
+            None, k=args.k, count=args.count, q=args.q, config=config,
+            store=store,
+        )
+    else:
+        collection = load_collection(args.collection)
+        outcome = top_k_join(
+            collection, k=args.k, count=args.count, q=args.q, config=config
+        )
     for pair in outcome.pairs:
         _print_pair(pair)
     if args.stats:
@@ -242,9 +334,21 @@ def _cmd_topk(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    collection = load_collection(args.collection)
+    failure = _require_one_input(args, "search")
+    if failure is not None:
+        return failure
     query = parse_uncertain(args.query)
-    outcome = similarity_search(collection, query, _config(args))
+    config = _config(args)
+    if args.store is not None:
+        from repro.core.search import SimilaritySearcher
+
+        store, code = _open_store(args.store, "search", config)
+        if store is None:
+            return code
+        outcome = SimilaritySearcher.from_store(store, config).search(query)
+    else:
+        collection = load_collection(args.collection)
+        outcome = similarity_search(collection, query, config)
     for match in outcome.matches:
         if match.probability is not None:
             print(f"{match.string_id}\t{match.probability:.6f}")
@@ -260,6 +364,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.http import serve_until_interrupted
     from repro.serve.service import JoinService, ServeOptions
 
+    failure = _require_one_input(args, "serve")
+    if failure is not None:
+        return failure
     config = JoinConfig.for_algorithm(
         args.algorithm,
         k=args.k,
@@ -279,9 +386,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drain_timeout=args.drain_timeout,
             fault_spec=args.inject_faults,
         )
-        service = JoinService.from_files(
-            args.collection, config, options, index_path=args.index_snapshot
-        )
+        if args.store is not None:
+            if args.index_snapshot is not None:
+                print(
+                    "serve: --store and --index-snapshot are mutually "
+                    "exclusive (the store is the index)",
+                    file=sys.stderr,
+                )
+                return 2
+            service = JoinService.from_store(args.store, config, options)
+        else:
+            service = JoinService.from_files(
+                args.collection, config, options, index_path=args.index_snapshot
+            )
     except (ReproError, OSError) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
@@ -291,6 +408,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.port,
         announce=lambda message: print(message, file=sys.stderr),
     )
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    from repro.datasets.loader import iter_collection
+    from repro.store.sqlite import build_sqlite_store
+
+    # Streaming end to end: records are parsed one at a time and land
+    # in batched inserts, so building an index store for a collection
+    # far larger than RAM stays flat in memory.
+    meta = build_sqlite_store(
+        iter_collection(args.collection), args.output, k=args.k, q=args.q
+    )
+    print(
+        f"wrote index store {args.output}: {meta.count} string(s), "
+        f"{meta.entry_count} posting(s), k={meta.k}, q={meta.q}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_index_info(args: argparse.Namespace) -> int:
+    store, code = _open_store(args.store, "index info")
+    if store is None:
+        return code
+    meta = store.meta
+    print(f"path\t{store.path}")
+    print(f"strings\t{meta.count}")
+    print(f"postings\t{meta.entry_count}")
+    print(f"k\t{meta.k}")
+    print(f"q\t{meta.q}")
+    print(f"digest\t{meta.digest}")
+    return 0
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
@@ -334,8 +483,53 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-o", "--output", required=True)
     gen.set_defaults(func=_cmd_gen)
 
+    index = commands.add_parser(
+        "index",
+        help="build / inspect out-of-core SQLite index stores "
+        "(DESIGN.md §6i)",
+    )
+    index_commands = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_commands.add_parser(
+        "build",
+        help="build a store file from a collection (streaming: the "
+        "collection never has to fit in memory)",
+    )
+    index_build.add_argument(
+        "collection", help="collection file (one string per line)"
+    )
+    index_build.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        metavar="STORE",
+        help="store file to write (replaced atomically if present)",
+    )
+    index_build.add_argument(
+        "-k",
+        type=int,
+        required=True,
+        help="edit-distance threshold the postings are segmented for "
+        "(joins against the store must use the same k)",
+    )
+    index_build.add_argument(
+        "-q", type=int, default=3, help="segment length (default 3)"
+    )
+    index_build.set_defaults(func=_cmd_index_build)
+    index_info = index_commands.add_parser(
+        "info", help="print a store file's validated header"
+    )
+    index_info.add_argument("store", help="store file")
+    index_info.set_defaults(func=_cmd_index_info)
+
     join = commands.add_parser("join", help="self-join a collection file")
-    join.add_argument("collection", help="collection file (one string per line)")
+    join.add_argument(
+        "collection",
+        nargs="?",
+        default=None,
+        help="collection file (one string per line); omit when joining "
+        "an index store via --store",
+    )
+    _add_store_option(join)
     _add_join_options(join)
     _add_resilience_options(join)
     join.add_argument(
@@ -364,7 +558,8 @@ def build_parser() -> argparse.ArgumentParser:
     topk = commands.add_parser(
         "topk", help="the N most probably similar pairs (adaptive threshold)"
     )
-    topk.add_argument("collection")
+    topk.add_argument("collection", nargs="?", default=None)
+    _add_store_option(topk)
     topk.add_argument("-k", type=int, required=True, help="edit-distance threshold")
     topk.add_argument(
         "--count", type=int, required=True, help="number of pairs to report"
@@ -382,8 +577,9 @@ def build_parser() -> argparse.ArgumentParser:
     topk.set_defaults(func=_cmd_topk)
 
     search = commands.add_parser("search", help="search a collection file")
-    search.add_argument("collection")
+    search.add_argument("collection", nargs="?", default=None)
     search.add_argument("query", help="query in uncertain-string notation")
+    _add_store_option(search)
     _add_join_options(search)
     search.set_defaults(func=_cmd_search)
 
@@ -392,7 +588,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent HTTP query service over one indexed collection "
         "(admission control, per-request deadlines, graceful degradation)",
     )
-    serve.add_argument("collection", help="collection file to index and serve")
+    serve.add_argument(
+        "collection",
+        nargs="?",
+        default=None,
+        help="collection file to index and serve; omit when serving an "
+        "index store via --store",
+    )
+    _add_store_option(serve)
     _add_join_options(serve)
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(

@@ -45,6 +45,7 @@ from repro.core.errors import (
 )
 from repro.core.results import JoinPair
 from repro.core.stats import JoinStatistics
+from repro.util.atomic import atomic_write_bytes
 
 #: What a band task returns: ``(band_index, owned pairs, band stats)``.
 BandResult = tuple[int, list[JoinPair], JoinStatistics]
@@ -58,9 +59,7 @@ _SHARD_MANIFEST_NAME = "manifest.json"
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
     """Write ``data`` to ``path`` via tmp file + rename (crash-atomic)."""
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_bytes(data)
-    tmp.replace(path)
+    atomic_write_bytes(path, data)
 
 
 def read_manifest_document(path: Path) -> dict[str, Any]:

@@ -26,7 +26,7 @@ have enough.
 
 from __future__ import annotations
 
-from typing import Iterator, Protocol, Sequence, runtime_checkable
+from typing import Any, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.core.config import JoinConfig
 from repro.core.context import CollectionContext
@@ -40,6 +40,20 @@ from repro.uncertain.string import UncertainString
 #: One generated candidate: ``(string id, Theorem 2 upper bound)``;
 #: the bound is ``None`` when the source cannot compute one.
 SourceCandidate = tuple[int, "float | None"]
+
+
+class StringLookup(Protocol):
+    """The engine's candidate-string mapping: a plain dict by default,
+    a bounded :class:`~repro.store.source.StoreStringCache` when the
+    strings live out of core."""
+
+    def __getitem__(self, string_id: int) -> UncertainString: ...
+
+    def __setitem__(
+        self, string_id: int, string: UncertainString
+    ) -> None: ...
+
+    def __len__(self) -> int: ...
 
 
 @runtime_checkable
@@ -159,12 +173,17 @@ class LengthBandSource:
     def __len__(self) -> int:
         return len(self._rank_to_id)
 
+    def register(self, string_id: int, length: int) -> None:
+        """Register one string by id and length, without hydrating it
+        (the store-backed searcher's bulk-registration hook)."""
+        rank = len(self._rank_to_id)
+        self._rank_to_id.append(string_id)
+        self._ranks_by_length.setdefault(length, []).append(rank)
+
     def add(
         self, string_id: int, string: UncertainString, stats: JoinStatistics
     ) -> None:
-        rank = len(self._rank_to_id)
-        self._rank_to_id.append(string_id)
-        self._ranks_by_length.setdefault(len(string), []).append(rank)
+        self.register(string_id, len(string))
 
     def probe(
         self, query: UncertainString, tau: float, stats: JoinStatistics
@@ -182,15 +201,33 @@ class LengthBandSource:
 
 
 def make_source(
-    config: JoinConfig, index: SegmentInvertedIndex | None = None
+    config: JoinConfig,
+    index: SegmentInvertedIndex | None = None,
+    store: Any = None,
 ) -> CandidateSource:
     """The candidate source ``config``'s filter stack calls for.
 
     ``index`` hands a :class:`SegmentIndexSource` a preloaded segment
     index (a persisted snapshot) instead of building one per string; it
     is only meaningful for q-gram configs and must be ``None`` for
-    filter stacks without **Q**.
+    filter stacks without **Q**. ``store`` (an
+    :class:`~repro.store.base.IndexStore`) routes q-gram candidate
+    generation through the store's prebuilt postings instead — the two
+    are mutually exclusive. Non-q-gram stacks never read postings, so
+    under ``store`` they still get the plain length filter.
     """
+    if index is not None and store is not None:
+        raise ConfigurationError(
+            "a preloaded segment index and an index store are mutually "
+            "exclusive candidate-generation backends"
+        )
+    if store is not None:
+        if config.uses_qgram:
+            from repro.store.source import StoreIndexSource
+
+            return StoreIndexSource(config, store)
+        store.meta.check_compatible(config)
+        return LengthBandSource(config.k)
     if config.uses_qgram:
         return SegmentIndexSource(config, index=index)
     if index is not None:
@@ -237,6 +274,19 @@ class JoinEngine:
         must then :meth:`add` the same strings in the same order the
         snapshot was built under, which rebuilds the id bookkeeping
         without re-segmenting any string.
+    store:
+        An :class:`~repro.store.base.IndexStore`: candidate generation
+        reads the store's prebuilt postings, and candidate strings are
+        hydrated on demand through a bounded LRU instead of being held
+        in a dict — peak RSS tracks the cache, not the collection.
+        Mutually exclusive with ``index``; adds must replay the store's
+        (length, id) visit order.
+    store_cache:
+        The hydration cache to use with ``store`` (a
+        :class:`~repro.store.source.StoreStringCache`); by default one
+        is created at the store's configured capacity. Drivers pass a
+        shared cache so the engine and their collection facade hit one
+        LRU.
     """
 
     def __init__(
@@ -247,6 +297,8 @@ class JoinEngine:
         force_exact: bool = False,
         context: CollectionContext | None = None,
         index: "SegmentInvertedIndex | None" = None,
+        store: Any = None,
+        store_cache: Any = None,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else JoinStatistics()
@@ -256,9 +308,26 @@ class JoinEngine:
         # that re-reads τ between pulls.
         self._constant_tau = tau is None
         self.tau: TauProvider = tau if tau is not None else (lambda: config.tau)
-        self.source = make_source(config, index=index)
+        self.source = make_source(config, index=index, store=store)
         self.chain = StageChain(config, force_exact=force_exact, context=context)
-        self._strings: dict[int, UncertainString] = {}
+        self._strings: StringLookup
+        if store is not None:
+            from repro.store.base import DEFAULT_CACHE_SIZE
+            from repro.store.source import StoreStringCache
+
+            self._strings = (
+                store_cache
+                if store_cache is not None
+                else StoreStringCache(
+                    store, getattr(store, "cache_size", DEFAULT_CACHE_SIZE)
+                )
+            )
+        else:
+            if store_cache is not None:
+                raise ConfigurationError(
+                    "store_cache is only meaningful together with store"
+                )
+            self._strings = {}
 
     def __len__(self) -> int:
         return len(self._strings)
@@ -310,6 +379,11 @@ class JoinEngine:
             constant = True
         context = self.chain.context(query_id, query)
         candidates = self.source.probe(query, provider(), run_stats)
+        # Store-backed string caches hydrate the whole candidate block
+        # in one batched read instead of one miss per candidate.
+        prefetch = getattr(self._strings, "prefetch", None)
+        if prefetch is not None and len(candidates) >= 2:
+            prefetch([candidate_id for candidate_id, _ in candidates])
         if constant and self.chain.batch_refine and len(candidates) >= 2:
             # Batch-refine path (DESIGN.md §6f): group the probe's
             # surviving candidates and run each filter stage as one
@@ -360,6 +434,7 @@ class JoinEngine:
         self,
         collection: Sequence[UncertainString],
         index_length_cap: int | None = None,
+        order: "Sequence[int] | None" = None,
     ) -> Iterator[JoinPair]:
         """Stream the self-join of ``collection`` pair by pair.
 
@@ -367,6 +442,11 @@ class JoinEngine:
         probed against the already-added prefix, then added, so no pair
         is enumerated twice. Pairs are yielded as discovered (grouped by
         their later-visited string), not globally sorted.
+
+        ``order`` supplies that visit order precomputed (it must be the
+        ascending (length, id) permutation of ``collection``'s ids) —
+        the store-backed driver passes the store's recorded order so the
+        sort never hydrates the collection.
 
         ``index_length_cap`` makes strings longer than the cap
         *probe-only*: they query the index but are never added to it, so
@@ -378,9 +458,10 @@ class JoinEngine:
         under-cap candidate is already indexed when an over-cap string
         probes.
         """
-        order = sorted(
-            range(len(collection)), key=lambda i: (len(collection[i]), i)
-        )
+        if order is None:
+            order = sorted(
+                range(len(collection)), key=lambda i: (len(collection[i]), i)
+            )
         for string_id in order:
             current = collection[string_id]
             for other_id, similar, probability in self.probe(string_id, current):

@@ -227,7 +227,14 @@ def _self_join_band(
     """
     band_index, token, original_ids, owned_high, config = payload
     (collection,), (context,) = _shared_state(token)
-    strings = [collection[string_id] for string_id in original_ids]
+    # Store-backed collections expose bulk hydration: one batched read
+    # for the band instead of per-string cache misses.
+    take = getattr(collection, "take", None)
+    strings = (
+        list(take(original_ids))
+        if take is not None
+        else [collection[string_id] for string_id in original_ids]
+    )
     outcome = similarity_join(
         strings,
         config,
@@ -391,6 +398,7 @@ def _open_checkpoint(
     bands: Sequence[LengthBand],
     shard: "tuple[int, int] | None" = None,
     strings: int = 0,
+    fingerprint: "str | None" = None,
 ) -> "tuple[CheckpointStore | None, str | None]":
     """Open the run's checkpoint store; returns ``(store, fingerprint)``.
 
@@ -398,12 +406,16 @@ def _open_checkpoint(
     (:class:`ShardCheckpointStore`) when ``shard`` coordinates are
     given — then the shared ``run.json`` additionally pins the shard
     count and input size, and this shard's manifest records exactly the
-    band indices it owns.
+    band indices it owns. A precomputed ``fingerprint`` skips the
+    collection hash — the store-backed driver substitutes a digest the
+    store already carries, so opening a checkpoint never hydrates the
+    collection.
     """
     if run_dir is None:
         return None, None
-    kind, config, collections = fingerprint_args
-    fingerprint = _join_fingerprint(kind, config, bands, *collections)
+    if fingerprint is None:
+        kind, config, collections = fingerprint_args
+        fingerprint = _join_fingerprint(kind, config, bands, *collections)
     if shard is None:
         store: CheckpointStore = CheckpointStore(run_dir)
         store.open(fingerprint, len(bands), strings=strings)

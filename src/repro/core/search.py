@@ -27,6 +27,10 @@ QUERY_ID = -1
 class SimilaritySearcher:
     """An immutable collection indexed for repeated similarity searches."""
 
+    #: The indexed strings, addressable by id — a materialized list for
+    #: in-memory searchers, a lazy store facade under :meth:`from_store`.
+    collection: Sequence[UncertainString]
+
     def __init__(
         self,
         collection: Sequence[UncertainString],
@@ -53,6 +57,51 @@ class SimilaritySearcher:
         )
         for string_id in order:
             self._engine.add(string_id, self.collection[string_id])
+
+    @classmethod
+    def from_store(
+        cls,
+        store: Any,
+        config: JoinConfig,
+        context: CollectionContext | None = None,
+    ) -> "SimilaritySearcher":
+        """A searcher over a prebuilt :class:`~repro.store.base.IndexStore`.
+
+        Nothing collection-sized is materialized: the collection is the
+        store's lazy facade, candidate strings hydrate through a bounded
+        LRU shared with the engine, features live in a bounded context,
+        and registration replays the store's recorded (length, id) visit
+        order from bookkeeping alone — no string is parsed until a query
+        touches it. Results are byte-identical to a searcher built over
+        the loaded collection with the same config.
+        """
+        from repro.store.base import DEFAULT_CACHE_SIZE
+        from repro.store.source import (
+            StoreCollection,
+            StoreContext,
+            StoreStringCache,
+        )
+
+        searcher = cls.__new__(cls)
+        cache_size = getattr(store, "cache_size", DEFAULT_CACHE_SIZE)
+        cache = StoreStringCache(store, cache_size)
+        searcher.collection = StoreCollection(store, cache=cache)
+        searcher.config = config
+        searcher._context = (
+            context if context is not None else StoreContext(cache_size)
+        )
+        searcher._engine = JoinEngine(
+            config,
+            context=searcher._context,
+            store=store,
+            store_cache=cache,
+        )
+        register = getattr(searcher._engine.source, "register")
+        for string_id, length in zip(
+            store.ids_in_visit_order(), store.lengths_in_visit_order()
+        ):
+            register(string_id, length)
+        return searcher
 
     @property
     def engine(self) -> JoinEngine:

@@ -14,7 +14,7 @@ growing bound; no stage logic is duplicated here.
 from __future__ import annotations
 
 import heapq
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.config import JoinConfig
 from repro.core.engine import JoinEngine
@@ -24,11 +24,13 @@ from repro.uncertain.string import UncertainString
 
 
 def top_k_join(
-    collection: Sequence[UncertainString],
+    collection: "Sequence[UncertainString] | None",
     k: int,
     count: int,
     q: int = 3,
     config: JoinConfig | None = None,
+    *,
+    store: Any = None,
 ) -> JoinOutcome:
     """The ``count`` pairs with the highest ``Pr(ed <= k)`` (all > 0).
 
@@ -39,9 +41,17 @@ def top_k_join(
     ``report_probabilities=False`` is promoted to exact verification
     rather than skipping it. ``workers`` must be 1: the adaptive
     threshold makes the visit loop inherently sequential.
+
+    ``store`` runs the same adaptive loop out of core over a prebuilt
+    :class:`~repro.store.base.IndexStore` (pass ``collection=None``):
+    identical pairs, bounded memory.
     """
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
+    if (store is None) == (collection is None):
+        raise ValueError(
+            "top_k_join needs exactly one of collection or store"
+        )
     base = config if config is not None else JoinConfig(k=k, tau=0.0, q=q)
     if base.k != k or base.q != q:
         raise ValueError("config.k / config.q must match the k / q arguments")
@@ -52,16 +62,49 @@ def top_k_join(
             f"the join is inherently sequential (got workers={base.workers})"
         )
 
-    stats = JoinStatistics(total_strings=len(collection))
+    if store is not None:
+        total = len(store)
+    else:
+        assert collection is not None
+        total = len(collection)
+    stats = JoinStatistics(total_strings=total)
     # Min-heap of (probability, left, right); heap[0] is the adaptive cut.
     best: list[tuple[float, int, int]] = []
 
     def current_tau() -> float:
         return best[0][0] if len(best) == count else 0.0
 
-    engine = JoinEngine(base, stats=stats, tau=current_tau, force_exact=True)
+    if store is not None:
+        from repro.store.base import DEFAULT_CACHE_SIZE
+        from repro.store.source import (
+            StoreCollection,
+            StoreContext,
+            StoreStringCache,
+        )
+
+        cache_size = getattr(store, "cache_size", DEFAULT_CACHE_SIZE)
+        cache = StoreStringCache(store, cache_size)
+        engine = JoinEngine(
+            base,
+            stats=stats,
+            tau=current_tau,
+            force_exact=True,
+            context=StoreContext(cache_size),
+            store=store,
+            store_cache=cache,
+        )
+        pair_iter = engine.join(
+            StoreCollection(store, cache=cache),
+            order=store.ids_in_visit_order(),
+        )
+    else:
+        assert collection is not None
+        engine = JoinEngine(
+            base, stats=stats, tau=current_tau, force_exact=True
+        )
+        pair_iter = engine.join(collection)
     with stats.timer("total"):
-        for pair in engine.join(collection):
+        for pair in pair_iter:
             assert pair.probability is not None  # force_exact guarantees it
             heapq.heappush(best, (pair.probability, pair.left_id, pair.right_id))
             if len(best) > count:

@@ -12,7 +12,12 @@ faithfully; see DESIGN.md Section 3 for the substitution argument.
 from repro.datasets.names import generate_author_names
 from repro.datasets.protein import generate_protein_strings
 from repro.datasets.uncertainty import inject_uncertainty, make_uncertain_collection
-from repro.datasets.loader import LoadReport, load_collection, save_collection
+from repro.datasets.loader import (
+    LoadReport,
+    iter_collection,
+    load_collection,
+    save_collection,
+)
 from repro.datasets.presets import dblp_like_collection, protein_like_collection
 
 __all__ = [
@@ -21,6 +26,7 @@ __all__ = [
     "inject_uncertainty",
     "make_uncertain_collection",
     "LoadReport",
+    "iter_collection",
     "load_collection",
     "save_collection",
     "dblp_like_collection",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Literal, Sequence, overload
+from typing import Iterator, Literal, Sequence, overload
 
 from repro.core.errors import ConfigurationError, DatasetRecordError
 from repro.uncertain.parser import (
@@ -57,6 +57,43 @@ def save_collection(
             handle.write("\n")
 
 
+def iter_collection(
+    path: str | Path,
+    on_error: OnError = "raise",
+    errors: list[DatasetRecordError] | None = None,
+) -> Iterator[UncertainString]:
+    """Stream a collection one parsed record at a time.
+
+    The generator form of :func:`load_collection` — same line format,
+    same skip rules, same ``on_error`` policies — holding one record in
+    memory instead of the whole corpus, so out-of-core consumers (the
+    store builder above all) can ingest collections that do not fit in
+    RAM. Under ``on_error="collect"``, malformed records are appended
+    to the caller-supplied ``errors`` list as they are encountered
+    (a generator cannot return a :class:`LoadReport`).
+    """
+    if on_error not in _ON_ERROR_MODES:
+        raise ConfigurationError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+        )
+    source = Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        for record_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            try:
+                yield parse_uncertain(line)
+            except UncertainStringSyntaxError as exc:
+                error = DatasetRecordError(
+                    str(source), record_number, exc.index, str(exc)
+                )
+                if on_error == "raise":
+                    raise error from exc
+                if on_error == "collect" and errors is not None:
+                    errors.append(error)
+
+
 @overload
 def load_collection(
     path: str | Path, on_error: Literal["raise", "skip"] = "raise"
@@ -86,27 +123,8 @@ def load_collection(
         Returns a :class:`LoadReport` with both the parsed strings and
         one :class:`DatasetRecordError` per bad record.
     """
-    if on_error not in _ON_ERROR_MODES:
-        raise ConfigurationError(
-            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
-        )
-    source = Path(path)
-    strings: list[UncertainString] = []
     errors: list[DatasetRecordError] = []
-    with source.open("r", encoding="utf-8") as handle:
-        for record_number, line in enumerate(handle, start=1):
-            line = line.rstrip("\n")
-            if not line or line.startswith("#"):
-                continue
-            try:
-                strings.append(parse_uncertain(line))
-            except UncertainStringSyntaxError as exc:
-                error = DatasetRecordError(
-                    str(source), record_number, exc.index, str(exc)
-                )
-                if on_error == "raise":
-                    raise error from exc
-                errors.append(error)
+    strings = list(iter_collection(path, on_error=on_error, errors=errors))
     if on_error == "collect":
         return LoadReport(strings=strings, errors=errors)
     return strings

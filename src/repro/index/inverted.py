@@ -14,31 +14,16 @@ enumerated twice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Mapping, Sequence
 
-from repro.filters.alpha import GroupMode, equivalent_substring_set
-from repro.filters.events import markov_tail_bound, tail_probability
-from repro.index.merge import join_sorted_lists, merge_weighted_postings
+from repro.filters.alpha import GroupMode
+from repro.index.probe import IndexCandidate, query_candidates
 from repro.partition.even import Segment, partition_for
-from repro.partition.selection import SelectionMode, substring_starts
+from repro.partition.selection import SelectionMode
 from repro.uncertain.string import UncertainString
 from repro.uncertain.worlds import enumerate_worlds
 
-
-@dataclass(frozen=True)
-class IndexCandidate:
-    """One candidate produced by an index probe.
-
-    ``alphas`` holds the segment match probabilities for the candidate's
-    partition (zeros for unmatched segments); ``upper`` is the Theorem 2
-    bound computed from them.
-    """
-
-    string_id: int
-    alphas: tuple[float, ...]
-    matched_segments: int
-    required: int
-    upper: float
+__all__ = ["IndexCandidate", "SegmentInvertedIndex"]
 
 
 class SegmentInvertedIndex:
@@ -125,24 +110,46 @@ class SegmentInvertedIndex:
         return set(self._indexed_lengths)
 
     # ------------------------------------------------------------------
-    # probing
+    # probing — the PostingView surface of repro.index.probe
     # ------------------------------------------------------------------
+
+    def visit_lengths(self) -> list[int]:
+        """Lengths with at least one indexed string, ascending."""
+        return sorted(self._indexed_lengths)
+
+    def ids_of_length(self, length: int) -> Sequence[int]:
+        """Ids of the indexed strings of ``length``, ascending."""
+        return self._ids_by_length.get(length, [])
+
+    def has_segment(self, length: int, segment_index: int) -> bool:
+        """Whether any posting list exists for ``(length, segment)``."""
+        return bool(self._lists.get((length, segment_index)))
+
+    def posting_lists(
+        self, length: int, segment_index: int, words: Sequence[str]
+    ) -> Mapping[str, Sequence[tuple[int, float]]]:
+        """The posting lists present among ``words``."""
+        lists = self._lists.get((length, segment_index))
+        if not lists:
+            return {}
+        return {word: lists[word] for word in words if word in lists}
 
     def query(self, query: UncertainString, tau: float) -> list[IndexCandidate]:
         """All indexed candidates ``S_i`` that survive Lemma 5 + Theorem 2.
 
-        Only lengths within ``k`` of ``|query|`` are probed. For each such
-        length the query's equivalent substring sets are built once per
-        segment and merged against the posting lists with top-pointer
-        scans; candidates failing the ``>= m - k`` count or whose bound is
-        ``<= tau`` are pruned here.
+        The shared probe math of :mod:`repro.index.probe` over this
+        index's posting lists; see :func:`~repro.index.probe.query_candidates`
+        for the pruning sequence.
         """
-        out: list[IndexCandidate] = []
-        for length in sorted(self._indexed_lengths):
-            if abs(length - len(query)) > self.k:
-                continue
-            out.extend(self._query_length(query, length, tau))
-        return out
+        return query_candidates(
+            self,
+            query,
+            tau,
+            k=self.k,
+            selection=self.selection,
+            group_mode=self.group_mode,
+            bound_mode=self.bound_mode,
+        )
 
     def probe(self, query: UncertainString, tau: float) -> list[tuple[int, float]]:
         """``(string id, Theorem 2 upper bound)`` for every surviving
@@ -154,72 +161,3 @@ class SegmentInvertedIndex:
         ]
         pairs.sort()
         return pairs
-
-    def _query_length(
-        self, query: UncertainString, length: int, tau: float
-    ) -> list[IndexCandidate]:
-        segments = self.partition_of(length)
-        m = len(segments)
-        required = m - self.k
-        if required <= 0:
-            # Strings shorter than k + 1: the pigeonhole gives no pruning
-            # power, so every indexed string of this length is a candidate.
-            return [
-                IndexCandidate(
-                    string_id=string_id,
-                    alphas=(0.0,) * m,
-                    matched_segments=0,
-                    required=required,
-                    upper=1.0,
-                )
-                for string_id in self._ids_by_length.get(length, [])
-            ]
-        per_segment: list[list[tuple[int, float]]] = []
-        survivors_possible = 0
-        for segment in segments:
-            lists = self._lists.get((length, segment.index))
-            merged: list[tuple[int, float]] = []
-            if lists:
-                starts = substring_starts(
-                    segment, len(query), length, self.k, m, self.selection
-                )
-                if starts:
-                    equivalent = equivalent_substring_set(
-                        query, starts, segment.length, self.group_mode
-                    )
-                    weighted = [
-                        (weight, lists[word])
-                        for word, weight in equivalent.items()
-                        if word in lists
-                    ]
-                    if weighted:
-                        merged = merge_weighted_postings(weighted)
-            per_segment.append(merged)
-            if merged:
-                survivors_possible += 1
-        if survivors_possible < required:
-            return []
-        candidates: list[IndexCandidate] = []
-        for string_id, entries in join_sorted_lists(per_segment):
-            matched = sum(1 for _, alpha in entries if alpha > 0.0)
-            if matched < required:
-                continue
-            alphas = [0.0] * m
-            for segment_offset, alpha in entries:
-                alphas[segment_offset] = min(1.0, alpha)
-            if self.bound_mode == "markov":
-                upper = markov_tail_bound(alphas, required)
-            else:
-                upper = tail_probability(alphas, required)
-            if upper <= tau:
-                continue
-            candidates.append(
-                IndexCandidate(
-                    string_id=string_id,
-                    alphas=tuple(alphas),
-                    matched_segments=matched,
-                    required=required,
-                    upper=upper,
-                )
-            )
-        return candidates

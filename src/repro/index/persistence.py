@@ -29,6 +29,7 @@ from typing import Any
 
 from repro.core.errors import CheckpointCorruptError, CheckpointMismatchError
 from repro.index.inverted import SegmentInvertedIndex
+from repro.util.atomic import atomic_write_text
 
 #: Identifies the file type independently of its version.
 INDEX_MAGIC = "repro-segment-index"
@@ -59,11 +60,13 @@ def _index_document(index: SegmentInvertedIndex) -> dict[str, Any]:
 
 
 def _write_document(document: dict[str, Any], path: str | Path) -> None:
-    """Atomically write a JSON document (tmp file + rename)."""
-    target = Path(path)
-    tmp = target.with_name(target.name + ".tmp")
-    tmp.write_text(json.dumps(document), encoding="utf-8")
-    tmp.replace(target)
+    """Atomically write a JSON document (tmp file + rename).
+
+    An index snapshot is built once and reused by every later run, so a
+    silently corrupt file is worse here than a slow save: sync before
+    the rename to survive power loss, not just process crashes.
+    """
+    atomic_write_text(path, json.dumps(document), fsync=True)
 
 
 def _read_document(path: str | Path) -> dict[str, Any]:

@@ -1,0 +1,208 @@
+"""Backend-independent probe math for the segment index (Section 4).
+
+The Lemma 5 + Theorem 2 candidate computation — equivalent substring
+sets per segment, weighted posting merges, segment-count pigeonhole,
+tail bound, τ prune — is one fixed sequence of float operations. The
+repo's byte-identity guarantee across index backends (the in-memory
+dict index, the out-of-core SQLite store) holds because that sequence
+lives *here*, exactly once, parameterized by a :class:`PostingView`
+that only answers "which posting lists exist and what do they hold".
+Both backends therefore accumulate the same floats in the same order;
+neither can drift without the other.
+
+A view answers in *rank* space: posting entries carry the insertion
+rank the index was built under, and every returned candidate's
+``string_id`` is such a rank. Callers that key results differently
+(e.g. :class:`repro.core.engine.SegmentIndexSource`, whose ranks are
+visit positions) translate afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Protocol, Sequence
+
+from repro.filters.alpha import GroupMode, equivalent_substring_set
+from repro.filters.events import markov_tail_bound, tail_probability
+from repro.index.merge import join_sorted_lists, merge_weighted_postings
+from repro.partition.even import Segment
+from repro.partition.selection import SelectionMode, substring_starts
+from repro.uncertain.string import UncertainString
+
+
+@dataclass(frozen=True)
+class IndexCandidate:
+    """One candidate produced by an index probe.
+
+    ``alphas`` holds the segment match probabilities for the candidate's
+    partition (zeros for unmatched segments); ``upper`` is the Theorem 2
+    bound computed from them.
+    """
+
+    string_id: int
+    alphas: tuple[float, ...]
+    matched_segments: int
+    required: int
+    upper: float
+
+
+class PostingView(Protocol):
+    """What a probe needs to know about an index, wherever it lives.
+
+    Implementations: :class:`repro.index.inverted.SegmentInvertedIndex`
+    (postings in dicts) and the rank-limited store views of
+    :mod:`repro.store` (postings in SQLite pages or a prebuilt memory
+    image). All ids are insertion ranks.
+    """
+
+    def partition_of(self, length: int) -> Sequence[Segment]:
+        """Canonical (q, k) partition of strings with ``length``."""
+        ...
+
+    def visit_lengths(self) -> Iterable[int]:
+        """Lengths with at least one indexed string, ascending."""
+        ...
+
+    def ids_of_length(self, length: int) -> Sequence[int]:
+        """Ranks of the indexed strings of ``length``, ascending."""
+        ...
+
+    def has_segment(self, length: int, segment_index: int) -> bool:
+        """Whether any posting list exists for ``(length, segment)``.
+
+        Purely a short-circuit — a ``True`` for an ultimately empty
+        segment only costs the equivalent-set computation, never
+        changes a result.
+        """
+        ...
+
+    def posting_lists(
+        self, length: int, segment_index: int, words: Sequence[str]
+    ) -> Mapping[str, Sequence[tuple[int, float]]]:
+        """The non-empty posting lists among ``words``.
+
+        Each list is ``[(rank, prob), ...]`` ascending by rank — the
+        insertion-sorted order :func:`merge_weighted_postings` requires.
+        Words without postings may be omitted or mapped to empty lists;
+        either way the merge below ignores them.
+        """
+        ...
+
+
+def query_candidates(
+    view: PostingView,
+    query: UncertainString,
+    tau: float,
+    *,
+    k: int,
+    selection: SelectionMode,
+    group_mode: GroupMode,
+    bound_mode: str,
+) -> list[IndexCandidate]:
+    """All indexed candidates surviving Lemma 5 + Theorem 2.
+
+    Only lengths within ``k`` of ``|query|`` are probed; per length the
+    query's equivalent substring sets are built once per segment and
+    merged against the posting lists with top-pointer scans. Candidates
+    failing the ``>= m - k`` count or whose bound is ``<= tau`` are
+    pruned here.
+    """
+    out: list[IndexCandidate] = []
+    query_length = len(query)
+    for length in view.visit_lengths():
+        if abs(length - query_length) > k:
+            continue
+        out.extend(
+            query_length_candidates(
+                view,
+                query,
+                length,
+                tau,
+                k=k,
+                selection=selection,
+                group_mode=group_mode,
+                bound_mode=bound_mode,
+            )
+        )
+    return out
+
+
+def query_length_candidates(
+    view: PostingView,
+    query: UncertainString,
+    length: int,
+    tau: float,
+    *,
+    k: int,
+    selection: SelectionMode,
+    group_mode: GroupMode,
+    bound_mode: str,
+) -> list[IndexCandidate]:
+    """The surviving candidates among indexed strings of one length."""
+    segments = view.partition_of(length)
+    m = len(segments)
+    required = m - k
+    if required <= 0:
+        # Strings shorter than k + 1: the pigeonhole gives no pruning
+        # power, so every indexed string of this length is a candidate.
+        return [
+            IndexCandidate(
+                string_id=string_id,
+                alphas=(0.0,) * m,
+                matched_segments=0,
+                required=required,
+                upper=1.0,
+            )
+            for string_id in view.ids_of_length(length)
+        ]
+    per_segment: list[list[tuple[int, float]]] = []
+    survivors_possible = 0
+    for segment in segments:
+        merged: list[tuple[int, float]] = []
+        if view.has_segment(length, segment.index):
+            starts = substring_starts(
+                segment, len(query), length, k, m, selection
+            )
+            if starts:
+                equivalent = equivalent_substring_set(
+                    query, starts, segment.length, group_mode
+                )
+                lists = view.posting_lists(
+                    length, segment.index, list(equivalent)
+                )
+                weighted = [
+                    (weight, lists[word])
+                    for word, weight in equivalent.items()
+                    if word in lists and lists[word]
+                ]
+                if weighted:
+                    merged = merge_weighted_postings(weighted)
+        per_segment.append(merged)
+        if merged:
+            survivors_possible += 1
+    if survivors_possible < required:
+        return []
+    candidates: list[IndexCandidate] = []
+    for string_id, entries in join_sorted_lists(per_segment):
+        matched = sum(1 for _, alpha in entries if alpha > 0.0)
+        if matched < required:
+            continue
+        alphas = [0.0] * m
+        for segment_offset, alpha in entries:
+            alphas[segment_offset] = min(1.0, alpha)
+        if bound_mode == "markov":
+            upper = markov_tail_bound(alphas, required)
+        else:
+            upper = tail_probability(alphas, required)
+        if upper <= tau:
+            continue
+        candidates.append(
+            IndexCandidate(
+                string_id=string_id,
+                alphas=tuple(alphas),
+                matched_segments=matched,
+                required=required,
+                upper=upper,
+            )
+        )
+    return candidates

@@ -34,6 +34,24 @@ DEFAULT_TOLERANCE = 2.0
 #: Collection size of the end-to-end join benchmark (quick mode halves it).
 JOIN_SIZE = 300
 
+#: Out-of-core headline (DESIGN.md §6i): collection sizes of the
+#: store-vs-memory contrast. Both joins run under the SAME address-space
+#: budget (:data:`STORE_MARGIN_BYTES` above the interpreter baseline);
+#: the SqliteStore leg must complete, the in-memory leg must hit
+#: MemoryError. The quick size keeps the CI leg under a minute while
+#: still sitting ~1.5x beyond what the in-memory driver can fit in the
+#: margin; the full size is the recorded 100k-string headline.
+STORE_SIZE = 100_000
+STORE_SIZE_QUICK = 30_000
+STORE_MARGIN_BYTES = 256 * 1024 * 1024
+#: Join knobs of the out-of-core contrast — deliberately cheap per
+#: string (k=1 → two segments, q=4 → rare words, low theta upstream) so
+#: a 100k-string pure-python join finishes in minutes; memory behaviour,
+#: not verification throughput, is what this benchmark gates.
+STORE_JOIN_K = 1
+STORE_JOIN_Q = 4
+STORE_JOIN_TAU = 0.3
+
 BenchFn = Callable[[], Any]
 
 
@@ -358,6 +376,105 @@ def measure_join(workers: int, size: int = JOIN_SIZE, repeats: int = 3) -> dict:
     return median
 
 
+def _run_store_probe(
+    mode: str, input_path: str, margin: int
+) -> dict:
+    """One out-of-core leg in a fresh subprocess (see ``store_probe``).
+
+    A subprocess is mandatory, not a convenience: ``RLIMIT_AS`` cannot
+    be lowered for part of a process and raised back by an unprivileged
+    one, and the in-memory leg is *expected* to die of ``MemoryError``
+    — neither may happen inside the benchmark runner itself.
+    """
+    import subprocess
+
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.report.store_probe",
+            mode,
+            input_path,
+            str(STORE_JOIN_K),
+            str(STORE_JOIN_Q),
+            str(STORE_JOIN_TAU),
+            str(margin),
+        ],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        return {
+            "mode": mode,
+            "limited": False,
+            "completed": False,
+            "error": f"probe exited {proc.returncode}: "
+            + proc.stderr.strip()[-300:],
+            "pairs": None,
+            "seconds": None,
+            "peak_rss_bytes": None,
+        }
+    return json.loads(proc.stdout)
+
+
+def measure_store(quick: bool = False) -> dict:
+    """The out-of-core headline: same join, same memory budget, two legs.
+
+    Generates a DBLP-like collection of :data:`STORE_SIZE` strings
+    (:data:`STORE_SIZE_QUICK` in quick mode), saves it, builds a
+    ``SqliteStore`` **from the saved file** (so both legs parse the
+    exact serialized bytes — the precision round-trip is part of the
+    contract), then runs each leg in a subprocess capped at
+    :data:`STORE_MARGIN_BYTES` of address space above its own
+    interpreter baseline. The store leg must complete inside the
+    budget; the in-memory leg must not.
+    """
+    import os
+    import tempfile
+
+    from repro.datasets import dblp_like_collection
+    from repro.datasets.loader import iter_collection, save_collection
+    from repro.store.sqlite import build_sqlite_store
+
+    size = STORE_SIZE_QUICK if quick else STORE_SIZE
+    # Low theta / duplicate_rate keeps verification cheap so the
+    # benchmark's cost is dominated by scale, which is the point.
+    collection = dblp_like_collection(
+        size, theta=0.05, rng=1234, duplicate_rate=0.2
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        collection_path = os.path.join(tmp, "collection.txt")
+        save_collection(collection, collection_path)
+        del collection
+        store_path = os.path.join(tmp, "collection.idx")
+        start = time.perf_counter()
+        meta = build_sqlite_store(
+            iter_collection(collection_path),
+            store_path,
+            k=STORE_JOIN_K,
+            q=STORE_JOIN_Q,
+        )
+        build_seconds = time.perf_counter() - start
+        store_leg = _run_store_probe("store", store_path, STORE_MARGIN_BYTES)
+        memory_leg = _run_store_probe(
+            "memory", collection_path, STORE_MARGIN_BYTES
+        )
+        store_file_bytes = os.path.getsize(store_path)
+    return {
+        "strings": size,
+        "k": STORE_JOIN_K,
+        "q": STORE_JOIN_Q,
+        "tau": STORE_JOIN_TAU,
+        "margin_bytes": STORE_MARGIN_BYTES,
+        "build_seconds": build_seconds,
+        "postings": meta.entry_count,
+        "store_file_bytes": store_file_bytes,
+        "store": store_leg,
+        "memory": memory_leg,
+    }
+
+
 def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict:
     """The full benchmark suite as a JSON-ready document."""
     min_seconds = 0.1 if quick else MIN_MEASURE_SECONDS
@@ -399,6 +516,20 @@ def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict
         f"{row['shed']} shed, {row['degraded']} degraded)",
         file=sys.stderr,
     )
+    store = {"out_of_core": measure_store(quick)}
+    row = store["out_of_core"]
+    store_leg, memory_leg = row["store"], row["memory"]
+    store_mb = (store_leg.get("peak_rss_bytes") or 0) / 1024 / 1024
+    print(
+        f"[bench] store out-of-core: {row['strings']} strings, "
+        f"margin {row['margin_bytes'] // (1024 * 1024)}MiB — store leg "
+        f"{'completed' if store_leg.get('completed') else 'FAILED'} "
+        f"({store_leg.get('pairs')} pairs, "
+        f"{store_leg.get('seconds') or 0:.1f}s, peak RSS {store_mb:.0f}MiB); "
+        f"memory leg "
+        f"{'completed' if memory_leg.get('completed') else memory_leg.get('error')}",
+        file=sys.stderr,
+    )
     return {
         "schema": 1,
         "quick": quick,
@@ -407,6 +538,7 @@ def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict
         "backend_speedup": backend_speedups(kernels),
         "join": joins,
         "serve": serve,
+        "store": store,
     }
 
 
@@ -447,6 +579,11 @@ def unbaselined_entries(current: dict, baseline: dict) -> list[str]:
         f"serve {name}"
         for name in current.get("serve", {})
         if name not in baseline.get("serve", {})
+    )
+    missing.extend(
+        f"store {name}"
+        for name in current.get("store", {})
+        if name not in baseline.get("store", {})
     )
     return missing
 
@@ -523,6 +660,50 @@ def check_regressions(
                     f"serve {name}: {measured[field]} request(s) {field} "
                     "(expected 0 on the healthy bench workload)"
                 )
+    # Out-of-core invariants are likewise baseline-free — the headline
+    # claim IS the contrast, and it must hold on every run: the store
+    # leg completes inside the ceiling it was limited to, while the
+    # in-memory leg over the same collection and budget cannot. Only
+    # the store leg's peak RSS is gated against the baseline (growth
+    # beyond tolerance means hydration stopped being bounded).
+    for name, row in current.get("store", {}).items():
+        store_leg = row.get("store", {})
+        memory_leg = row.get("memory", {})
+        if not store_leg.get("completed"):
+            failures.append(
+                f"store {name}: store leg failed under the memory budget "
+                f"({store_leg.get('error')})"
+            )
+        elif store_leg.get("limited") and store_leg.get("limit_bytes"):
+            peak = store_leg.get("peak_rss_bytes") or 0
+            if peak > store_leg["limit_bytes"]:
+                failures.append(
+                    f"store {name}: peak RSS {peak} exceeds the "
+                    f"{store_leg['limit_bytes']}-byte address-space ceiling "
+                    "(sampler and rlimit disagree)"
+                )
+        if memory_leg.get("limited") and memory_leg.get("completed"):
+            failures.append(
+                f"store {name}: in-memory leg completed inside the "
+                f"{row.get('margin_bytes')}-byte margin — the out-of-core "
+                "contrast no longer demonstrates anything; raise the "
+                "collection size or lower the margin"
+            )
+        base_row = baseline.get("store", {}).get(name)
+        base_leg = (base_row or {}).get("store", {})
+        if base_leg.get("peak_rss_bytes") and store_leg.get("peak_rss_bytes"):
+            if (
+                store_leg["peak_rss_bytes"]
+                > base_leg["peak_rss_bytes"] * tolerance
+            ):
+                failures.append(
+                    f"store {name}: peak RSS {store_leg['peak_rss_bytes']} "
+                    f"vs baseline {base_leg['peak_rss_bytes']} "
+                    f"(> {tolerance:g}x)"
+                )
+    for name in baseline.get("store", {}):
+        if name not in current.get("store", {}):
+            failures.append(f"store {name}: missing from current run")
     return failures
 
 

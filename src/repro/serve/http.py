@@ -7,7 +7,7 @@ work starts. Routes::
     POST /search        {"query": "...", "tau"?: t, "k"?: k, "timeout"?: s}
     POST /topk          {"query": "...", "count": n, "k"?, "timeout"?}
     POST /mini-join     {"strings": [...], "tau"?, "k"?, "timeout"?}
-    POST /admin/reload  {"collection"?: path, "index"?: path}
+    POST /admin/reload  {"collection"?: path, "index"?: path, "store"?: path}
     GET  /healthz       liveness (always 200 while the process serves)
     GET  /readyz        readiness (503 once draining)
     GET  /stats         counters + serving-state snapshot
@@ -245,6 +245,7 @@ class _Handler(BaseHTTPRequestHandler):
         document = self.server.service.reload(
             collection_path=decoded.get("collection"),
             index_path=decoded.get("index"),
+            store_path=decoded.get("store"),
         )
         self._send(_status_of(document), document)
 

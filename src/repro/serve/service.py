@@ -143,26 +143,51 @@ class _Generation:
     A request snapshots ``service._state`` once and works against that
     object for its whole lifetime, so a concurrent reload can swap the
     service's reference without ever changing state under a request.
+
+    A generation is either in-memory (``collection`` materialized,
+    optionally fed from ``collection_path``/``index``) or store-backed
+    (``store`` set: the collection is the store's lazy facade, strings
+    hydrate through its bounded LRU, and features live in a bounded
+    :class:`~repro.store.source.StoreContext`) — requests are agnostic
+    to which.
     """
 
     def __init__(
         self,
-        collection: Sequence[UncertainString],
+        collection: "Sequence[UncertainString] | None",
         config: JoinConfig,
         generation: int,
         collection_path: "str | None" = None,
         index_path: "str | None" = None,
         index: Any = None,
+        store: Any = None,
+        store_path: "str | None" = None,
     ) -> None:
-        self.collection = list(collection)
         self.config = config
         self.generation = generation
         self.collection_path = collection_path
         self.index_path = index_path
-        self.context = CollectionContext()
-        self.searcher = SimilaritySearcher(
-            self.collection, config, context=self.context, index=index
-        )
+        self.store = store
+        self.store_path = store_path
+        if store is not None:
+            from repro.store.base import DEFAULT_CACHE_SIZE
+            from repro.store.source import StoreContext
+
+            cache_size = getattr(store, "cache_size", DEFAULT_CACHE_SIZE)
+            self.context: CollectionContext = StoreContext(cache_size)
+            self.searcher = SimilaritySearcher.from_store(
+                store, config, context=self.context
+            )
+            self.collection: Sequence[UncertainString] = (
+                self.searcher.collection
+            )
+        else:
+            assert collection is not None
+            self.collection = list(collection)
+            self.context = CollectionContext()
+            self.searcher = SimilaritySearcher(
+                self.collection, config, context=self.context, index=index
+            )
         # Exact twin of the searcher's chain for ranking work (top-k
         # needs exact probabilities); shares the feature context, so
         # profiles computed by either chain serve both.
@@ -191,12 +216,14 @@ class JoinService:
 
     def __init__(
         self,
-        collection: Sequence[UncertainString],
+        collection: "Sequence[UncertainString] | None",
         config: JoinConfig,
         options: "ServeOptions | None" = None,
         collection_path: "str | None" = None,
         index_path: "str | None" = None,
         index: Any = None,
+        store: Any = None,
+        store_path: "str | None" = None,
     ) -> None:
         # Serving is in-thread and serial per request: the banded
         # multiprocess driver's knobs don't apply here.
@@ -204,7 +231,12 @@ class JoinService:
             config, workers=1, checkpoint_dir=None, shard=None, fault_spec=None
         )
         self.options = options if options is not None else ServeOptions()
-        self.stats = JoinStatistics(total_strings=len(collection))
+        if (store is None) == (collection is None):
+            raise ConfigurationError(
+                "JoinService needs exactly one of collection or store"
+            )
+        total = len(store) if store is not None else len(collection or ())
+        self.stats = JoinStatistics(total_strings=total)
         self.draining = False
         self._swap_lock = threading.Lock()
         self._state = _Generation(
@@ -214,6 +246,8 @@ class JoinService:
             collection_path=collection_path,
             index_path=index_path,
             index=index,
+            store=store,
+            store_path=store_path,
         )
 
     @classmethod
@@ -238,6 +272,28 @@ class JoinService:
             index_path=index_path,
             index=index,
         )
+
+    @classmethod
+    def from_store(
+        cls,
+        store_path: str,
+        config: JoinConfig,
+        options: "ServeOptions | None" = None,
+    ) -> "JoinService":
+        """Serve out of a prebuilt SQLite index store (DESIGN.md §6i).
+
+        Startup reads only the store header and the visit-order
+        bookkeeping — no string is parsed until a request touches it —
+        so serving a collection far larger than RAM starts in seconds
+        and stays flat in memory. The store must have been built under
+        the serving config's ``(k, q)``; a mismatch fails construction
+        with the same typed error an offline store join would raise.
+        """
+        from repro.store.sqlite import SqliteStore
+
+        store = SqliteStore(store_path)
+        store.meta.check_compatible(config)
+        return cls(None, config, options, store=store, store_path=store_path)
 
     @property
     def generation(self) -> int:
@@ -407,6 +463,7 @@ class JoinService:
         self,
         collection_path: "str | None" = None,
         index_path: "str | None" = None,
+        store_path: "str | None" = None,
     ) -> dict[str, Any]:
         """Swap in a freshly built generation; keep the old one on failure.
 
@@ -416,9 +473,63 @@ class JoinService:
         assignment, so there is no window where a request sees a
         half-built state. Every failure path returns a typed
         ``reload_failed`` document with the old generation intact.
+
+        ``store_path`` reloads a store-backed service onto a new (or
+        rebuilt) store file: the header and compatibility checks run
+        against the *new* path while the old store keeps serving, and
+        in-flight requests finish on the old generation's connections
+        even after the swap. A store-backed service with no explicit
+        path reuses its current store path — ``repro-join index build``
+        replaces the file atomically, so re-opening the same path picks
+        up the new contents. Passing both a collection and a store path
+        is rejected; passing one or the other switches the service to
+        that mode.
         """
         with self._swap_lock:
             old = self._state
+            if collection_path is not None and store_path is not None:
+                self.stats.record("serve", "reload_failed")
+                return error_document(
+                    "reload_failed",
+                    "pass either a collection path or a store path, not both",
+                    generation=old.generation,
+                )
+            want_store = store_path is not None or (
+                collection_path is None and old.store_path is not None
+            )
+            if want_store:
+                source = store_path or old.store_path
+                assert source is not None
+                try:
+                    from repro.store.sqlite import SqliteStore
+
+                    store = SqliteStore(source)
+                    store.meta.check_compatible(self._config)
+                    fresh = _Generation(
+                        None,
+                        self._config,
+                        generation=old.generation + 1,
+                        store=store,
+                        store_path=source,
+                    )
+                except (ReproError, OSError) as exc:
+                    self.stats.record("serve", "reload_failed")
+                    return error_document(
+                        "reload_failed",
+                        f"{type(exc).__name__}: {exc}",
+                        generation=old.generation,
+                    )
+                self._state = fresh
+                self.stats.total_strings = len(fresh.collection)
+                self.stats.record("serve", "reloaded")
+                return {
+                    "reloaded": True,
+                    "generation": fresh.generation,
+                    "strings": len(fresh.collection),
+                    "collection": None,
+                    "index": None,
+                    "store": source,
+                }
             source = collection_path or old.collection_path
             if source is None:
                 self.stats.record("serve", "reload_failed")
@@ -459,6 +570,7 @@ class JoinService:
                 "strings": len(fresh.collection),
                 "collection": source,
                 "index": snapshot,
+                "store": None,
             }
 
     def status_document(self) -> dict[str, Any]:
@@ -470,6 +582,7 @@ class JoinService:
             "algorithm": state.config.algorithm_name,
             "k": state.config.k,
             "tau": state.config.tau,
+            "store": state.store_path,
             "draining": self.draining,
             "counters": self.stats.counter_report(),
         }
@@ -512,6 +625,15 @@ class JoinService:
             engine = state.searcher.engine
             return engine, engine.source
         source = LengthBandSource(request_config.k)
+        if state.store is not None:
+            # Length bookkeeping straight from the store — building the
+            # per-request source hydrates nothing.
+            for string_id, length in zip(
+                state.store.ids_in_visit_order(),
+                state.store.lengths_in_visit_order(),
+            ):
+                source.register(string_id, length)
+            return state, source
         throwaway = JoinStatistics()
         order = sorted(
             range(len(state.collection)),

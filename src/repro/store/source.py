@@ -1,0 +1,343 @@
+"""Store-backed engine adapters: bounded-memory candidate generation.
+
+Four pieces bridge an :class:`~repro.store.base.IndexStore` into the
+streaming engine of :mod:`repro.core.engine` while keeping peak RSS
+proportional to cache capacity, never to the collection:
+
+* :class:`StoreIndexSource` — a ``CandidateSource`` whose postings live
+  in the store. ``add``/``register`` only maintain the rank ↔ id and
+  per-length bookkeeping (the postings are prebuilt); probes run the
+  shared math of :mod:`repro.index.probe` over a rank-limited view, so
+  results are byte-identical to an incrementally built
+  :class:`~repro.core.engine.SegmentIndexSource`.
+* :class:`StoreStringCache` — a bounded LRU of hydrated strings with
+  rank-block readahead (the join's visit order is rank order, so
+  sequential hydration touches each block once) and a batched
+  ``prefetch`` the engine calls before refining a candidate block.
+* :class:`StoreContext` — a bounded-LRU
+  :class:`~repro.core.context.CollectionContext`: features rebuild
+  deterministically after eviction, so eviction can only cost time.
+* :class:`StoreCollection` — a sequence facade over the store (ids are
+  0..N-1 loader positions) that pickles as just the store path, so
+  parallel workers under any start method reopen one shared file
+  instead of receiving string data.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.config import JoinConfig
+from repro.core.context import CollectionContext, StringFeatures
+from repro.core.errors import ConfigurationError
+from repro.core.stats import JoinStatistics
+from repro.index.probe import query_candidates
+from repro.partition.even import Segment, partition_for
+from repro.store.base import DEFAULT_CACHE_SIZE, IndexStore
+from repro.uncertain.string import UncertainString
+
+#: Strings hydrated per read on a cache miss. Block-aligned in rank
+#: space: the join visit order *is* rank order, so sequential hydration
+#: reads each block exactly once.
+READ_BLOCK = 256
+
+
+class StoreStringCache:
+    """Bounded LRU of hydrated strings, keyed by original id.
+
+    Satisfies the mapping surface :class:`~repro.core.engine.JoinEngine`
+    uses for its ``_strings`` dict (``[]`` get/set, ``len``), plus two
+    store-aware extensions: ``prefetch`` (one batched hydration for a
+    probe's candidate block — the engine calls it when present) and
+    ``take`` (bulk hydration bypassing the cache, for band tasks that
+    materialize their band anyway).
+
+    A ``prefetch`` may exceed capacity transiently — evicting a just-
+    fetched block before the refine loop reads it would turn one batched
+    query into per-string misses — so trimming happens on the *next*
+    miss or insert instead.
+    """
+
+    def __init__(
+        self,
+        store: IndexStore,
+        capacity: int = DEFAULT_CACHE_SIZE,
+        read_block: int = READ_BLOCK,
+    ) -> None:
+        self._store = store
+        self._capacity = max(1, capacity)
+        self._block = max(1, min(read_block, self._capacity))
+        self._entries: "OrderedDict[int, UncertainString]" = OrderedDict()
+        self._rank_of: "dict[int, int] | None" = None
+        self._added = 0
+        #: Number of store read operations (misses + prefetch batches);
+        #: the cache-effectiveness measure the tests pin.
+        self.fetches = 0
+
+    def __len__(self) -> int:
+        return self._added
+
+    def _rank_index(self) -> dict[int, int]:
+        if self._rank_of is None:
+            self._rank_of = {
+                string_id: rank
+                for rank, string_id in enumerate(
+                    self._store.ids_in_visit_order()
+                )
+            }
+        return self._rank_of
+
+    def _trim(self) -> None:
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def __setitem__(self, string_id: int, string: UncertainString) -> None:
+        self._entries[string_id] = string
+        self._entries.move_to_end(string_id)
+        self._added += 1
+        self._trim()
+
+    def __getitem__(self, string_id: int) -> UncertainString:
+        string = self._entries.get(string_id)
+        if string is not None:
+            self._entries.move_to_end(string_id)
+            return string
+        rank = self._rank_index()[string_id]
+        start = rank - (rank % self._block)
+        block = self._store.strings_at_ranks(start, start + self._block)
+        ids = self._store.ids_in_visit_order()
+        self.fetches += 1
+        for offset, fetched in enumerate(block):
+            fetched_id = ids[start + offset]
+            if fetched_id not in self._entries:
+                self._entries[fetched_id] = fetched
+        self._entries.move_to_end(string_id)
+        self._trim()
+        return self._entries[string_id]
+
+    def prefetch(self, ids: Sequence[int]) -> None:
+        """Hydrate every missing id in one batched store read."""
+        missing = [
+            string_id
+            for string_id in ids
+            if string_id not in self._entries
+        ]
+        if not missing:
+            return
+        fetched = self._store.strings_by_ids(missing)
+        self.fetches += 1
+        self._entries.update(fetched)
+
+    def take(self, ids: Sequence[int]) -> list[UncertainString]:
+        """Bulk-hydrate ``ids`` (in order) without touching the cache."""
+        fetched = self._store.strings_by_ids(ids)
+        return [fetched[string_id] for string_id in ids]
+
+
+class StoreCollection(Sequence[UncertainString]):
+    """The store's collection as a sequence of strings, ids = positions.
+
+    Reads go through a :class:`StoreStringCache` (shareable with an
+    engine so both sides hit one LRU). Pickles as just the store —
+    i.e. a path — so publishing it to parallel workers ships no
+    string data under any start method.
+    """
+
+    def __init__(
+        self, store: IndexStore, cache: "StoreStringCache | None" = None
+    ) -> None:
+        self._store = store
+        self._cache = (
+            cache
+            if cache is not None
+            else StoreStringCache(store, getattr(store, "cache_size", DEFAULT_CACHE_SIZE))
+        )
+
+    @property
+    def store(self) -> IndexStore:
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __getitem__(self, string_id: int) -> UncertainString:  # type: ignore[override]
+        return self._cache[string_id]
+
+    def __iter__(self) -> Iterator[UncertainString]:
+        for string_id in range(len(self)):
+            yield self._cache[string_id]
+
+    def take(self, ids: Sequence[int]) -> list[UncertainString]:
+        """Bulk-hydrate ``ids`` bypassing the cache (band tasks)."""
+        return self._cache.take(ids)
+
+    def __reduce__(self) -> tuple:
+        return (StoreCollection, (self._store,))
+
+
+class StoreContext(CollectionContext):
+    """A :class:`CollectionContext` with a bounded feature LRU.
+
+    Features are deterministic functions of their string, so evicting
+    and rebuilding one cannot change any result — the bound turns the
+    context's O(collection) growth into O(capacity) at a pure time
+    cost. Negative pseudo-ids stay fresh-per-call as in the base class.
+    """
+
+    __slots__ = ("_capacity",)
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
+        super().__init__()
+        self._features: "OrderedDict[int, StringFeatures]" = OrderedDict()
+        self._capacity = max(1, capacity)
+
+    def features(
+        self, string_id: int, string: UncertainString
+    ) -> StringFeatures:
+        if string_id < 0:
+            return StringFeatures(string)
+        features = self._features.get(string_id)
+        if features is None:
+            features = StringFeatures(string)
+            self._features[string_id] = features
+            while len(self._features) > self._capacity:
+                self._features.popitem(last=False)
+        else:
+            self._features.move_to_end(string_id)
+        return features
+
+
+class _RankLimitedView:
+    """The :class:`~repro.index.probe.PostingView` of one probe.
+
+    Fixes ``rank_limit`` at probe start (the number of strings
+    registered so far — exactly the prefix an incrementally built index
+    would contain), so concurrent probes over a fully built source each
+    carry their own immutable limit.
+    """
+
+    __slots__ = ("_source", "_limit")
+
+    def __init__(self, source: "StoreIndexSource", limit: int) -> None:
+        self._source = source
+        self._limit = limit
+
+    def partition_of(self, length: int) -> Sequence[Segment]:
+        return self._source.partition_of(length)
+
+    def visit_lengths(self) -> list[int]:
+        return sorted(self._source._ranks_by_length)
+
+    def ids_of_length(self, length: int) -> Sequence[int]:
+        return self._source._ranks_by_length.get(length, [])
+
+    def has_segment(self, length: int, segment_index: int) -> bool:
+        return self._source._store.has_segment(
+            length, segment_index, self._limit
+        )
+
+    def posting_lists(
+        self, length: int, segment_index: int, words: Sequence[str]
+    ) -> Mapping[str, Sequence[tuple[int, float]]]:
+        return self._source._store.posting_lists(
+            length, segment_index, words, self._limit
+        )
+
+
+class StoreIndexSource:
+    """Candidate generation over a store's prebuilt segment postings.
+
+    The ``CandidateSource`` counterpart of
+    :class:`~repro.core.engine.SegmentIndexSource` when the index lives
+    in an :class:`~repro.store.base.IndexStore`. ``add`` (or the
+    hydration-free ``register``) replays bookkeeping only — rank ↔ id,
+    per-length counts — and must follow the store's visit order exactly,
+    because posting entries carry store ranks. Probes restrict the
+    store's full posting lists to the registered prefix via
+    ``rank < limit``; see :mod:`repro.store.base` for why that is
+    byte-identical to probing an incrementally built index.
+    """
+
+    def __init__(self, config: JoinConfig, store: IndexStore) -> None:
+        store.meta.check_compatible(config)
+        self._store = store
+        self._k = config.k
+        self._q = config.q
+        self._selection = config.selection
+        self._group_mode = config.group_mode
+        self._bound_mode = config.bound_mode
+        self._rank_to_id: list[int] = []
+        self._count_by_length: dict[int, int] = {}
+        self._ranks_by_length: dict[int, list[int]] = {}
+        self._partitions: dict[int, list[Segment]] = {}
+        self._visit_ids = store.ids_in_visit_order()
+
+    @property
+    def store(self) -> IndexStore:
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._rank_to_id)
+
+    def partition_of(self, length: int) -> list[Segment]:
+        partition = self._partitions.get(length)
+        if partition is None:
+            partition = (
+                [] if length == 0 else partition_for(length, self._q, self._k)
+            )
+            self._partitions[length] = partition
+        return partition
+
+    def register(self, string_id: int, length: int) -> None:
+        """Register one string by id and length, without hydrating it."""
+        rank = len(self._rank_to_id)
+        if rank >= len(self._visit_ids) or self._visit_ids[rank] != string_id:
+            expected = (
+                self._visit_ids[rank]
+                if rank < len(self._visit_ids)
+                else "<exhausted>"
+            )
+            raise ConfigurationError(
+                "store-backed source must replay the store's visit order: "
+                f"rank {rank} got id {string_id}, store has {expected}"
+            )
+        self._rank_to_id.append(string_id)
+        self._count_by_length[length] = (
+            self._count_by_length.get(length, 0) + 1
+        )
+        self._ranks_by_length.setdefault(length, []).append(rank)
+
+    def add(
+        self, string_id: int, string: UncertainString, stats: JoinStatistics
+    ) -> None:
+        self.register(string_id, len(string))
+
+    def probe(
+        self, query: UncertainString, tau: float, stats: JoinStatistics
+    ) -> list[tuple[int, "float | None"]]:
+        length = len(query)
+        eligible = sum(
+            count
+            for other_length, count in self._count_by_length.items()
+            if abs(other_length - length) <= self._k
+        )
+        stats.record("length", "eligible", eligible)
+        with stats.timer("qgram"):
+            view = _RankLimitedView(self, len(self._rank_to_id))
+            ranked = [
+                (candidate.string_id, candidate.upper)
+                for candidate in query_candidates(
+                    view,
+                    query,
+                    tau,
+                    k=self._k,
+                    selection=self._selection,
+                    group_mode=self._group_mode,
+                    bound_mode=self._bound_mode,
+                )
+            ]
+            ranked.sort()
+        stats.record("qgram", "survivors", len(ranked))
+        stats.record("qgram", "rejected", eligible - len(ranked))
+        return [(self._rank_to_id[rank], upper) for rank, upper in ranked]

@@ -5,7 +5,12 @@ import random
 import pytest
 
 from repro.core.errors import ConfigurationError, DatasetRecordError
-from repro.datasets.loader import LoadReport, load_collection, save_collection
+from repro.datasets.loader import (
+    LoadReport,
+    iter_collection,
+    load_collection,
+    save_collection,
+)
 from repro.datasets.names import LENGTH_RANGE as NAME_RANGE, generate_author_names
 from repro.datasets.presets import dblp_like_collection, protein_like_collection
 from repro.datasets.protein import (
@@ -15,6 +20,7 @@ from repro.datasets.protein import (
 )
 from repro.datasets.uncertainty import inject_uncertainty, make_uncertain_collection
 from repro.uncertain.alphabet import LOWERCASE27, PROTEIN22
+from repro.uncertain.parser import format_uncertain
 
 
 class TestNameGenerator:
@@ -141,21 +147,22 @@ class TestLoader:
         assert len(loaded) == 1
 
 
-class TestLoaderOnError:
-    @pytest.fixture
-    def mixed_file(self, tmp_path):
-        # Records 2 and 4 are malformed (unterminated block, probability
-        # leak); 1, 3, and 5 parse.
-        path = tmp_path / "mixed.txt"
-        path.write_text(
-            "ACGT\n"
-            "A{(C,0.5)\n"
-            "A{(C,0.5),(G,0.5)}T\n"
-            "A{(C,0.9),(G,0.9)}\n"
-            "GGTA\n"
-        )
-        return path
+@pytest.fixture
+def mixed_file(tmp_path):
+    # Records 2 and 4 are malformed (unterminated block, probability
+    # leak); 1, 3, and 5 parse.
+    path = tmp_path / "mixed.txt"
+    path.write_text(
+        "ACGT\n"
+        "A{(C,0.5)\n"
+        "A{(C,0.5),(G,0.5)}T\n"
+        "A{(C,0.9),(G,0.9)}\n"
+        "GGTA\n"
+    )
+    return path
 
+
+class TestLoaderOnError:
     def test_raise_is_the_default_and_aborts_on_first(self, mixed_file):
         with pytest.raises(DatasetRecordError) as excinfo:
             load_collection(mixed_file)
@@ -184,3 +191,49 @@ class TestLoaderOnError:
     def test_unknown_mode_rejected(self, mixed_file):
         with pytest.raises(ConfigurationError):
             load_collection(mixed_file, on_error="ignore")
+
+
+class TestIterCollectionParity:
+    """The streaming path must agree with the list path record-for-record."""
+
+    @staticmethod
+    def canonical(strings):
+        return [format_uncertain(s, precision=17) for s in strings]
+
+    def test_clean_file_matches_load(self, tmp_path):
+        path = tmp_path / "clean.txt"
+        save_collection(dblp_like_collection(12, rng=9), path)
+        assert self.canonical(iter_collection(path)) == self.canonical(
+            load_collection(path)
+        )
+
+    def test_raise_mode_matches_load(self, mixed_file):
+        with pytest.raises(DatasetRecordError) as excinfo:
+            list(iter_collection(mixed_file))
+        assert excinfo.value.record == 2
+
+    def test_skip_mode_matches_load(self, mixed_file):
+        assert self.canonical(
+            iter_collection(mixed_file, on_error="skip")
+        ) == self.canonical(load_collection(mixed_file, on_error="skip"))
+
+    def test_collect_mode_matches_load_report(self, mixed_file):
+        report = load_collection(mixed_file, on_error="collect")
+        errors = []
+        strings = list(
+            iter_collection(mixed_file, on_error="collect", errors=errors)
+        )
+        assert self.canonical(strings) == self.canonical(report.strings)
+        assert [
+            (e.path, e.record, e.column) for e in errors
+        ] == [(e.path, e.record, e.column) for e in report.errors]
+
+    def test_unknown_mode_rejected(self, mixed_file):
+        with pytest.raises(ConfigurationError):
+            list(iter_collection(mixed_file, on_error="ignore"))
+
+    def test_is_lazy(self, mixed_file):
+        # The generator must not touch the file until iterated: record 2
+        # is malformed, so an eager parse would raise at call time.
+        iterator = iter_collection(mixed_file)
+        assert next(iterator) is not None

@@ -101,3 +101,73 @@ class TestJoinSortedLists:
 
     def test_empty_lists(self):
         assert join_sorted_lists([[], []]) == []
+
+    def test_no_lists(self):
+        assert join_sorted_lists([]) == []
+
+    def test_disjoint_segments_one_tag_each(self):
+        # Non-overlapping segment lists: every id surfaces exactly once,
+        # tagged with exactly its own segment, in global id order.
+        joined = join_sorted_lists(
+            [
+                [(4, 0.9), (9, 0.1)],
+                [(2, 0.3)],
+                [(7, 0.6)],
+            ]
+        )
+        assert joined == [
+            (2, [(1, 0.3)]),
+            (4, [(0, 0.9)]),
+            (7, [(2, 0.6)]),
+            (9, [(0, 0.1)]),
+        ]
+
+    def test_id_in_every_segment(self):
+        joined = join_sorted_lists([[(5, 0.1)], [(5, 0.2)], [(5, 0.3)]])
+        assert joined == [(5, [(0, 0.1), (1, 0.2), (2, 0.3)])]
+
+
+class TestMergeEdgeCases:
+    """The operand shapes the ISSUE calls out, pinned directly."""
+
+    def test_all_operands_empty(self):
+        assert merge_weighted_postings([(1.0, []), (0.5, [])]) == []
+
+    def test_empty_operands_among_nonempty(self):
+        merged = merge_weighted_postings(
+            [(1.0, []), (0.5, [(3, 1.0)]), (0.25, [])]
+        )
+        assert merged == [(3, 0.5)]
+
+    def test_zero_weight_operand_still_surfaces_ids(self):
+        # A zero-weight list contributes alpha 0 but must still emit the
+        # id: downstream segment counting treats presence as a match.
+        merged = merge_weighted_postings([(0.0, [(2, 1.0)])])
+        assert merged == [(2, 0.0)]
+
+    def test_duplicate_id_across_all_operands_emitted_once(self):
+        merged = merge_weighted_postings(
+            [(0.5, [(1, 0.2)]), (0.25, [(1, 0.4)]), (1.0, [(1, 0.1)])]
+        )
+        assert len(merged) == 1
+        string_id, alpha = merged[0]
+        assert string_id == 1
+        assert alpha == pytest.approx(0.5 * 0.2 + 0.25 * 0.4 + 1.0 * 0.1)
+
+    def test_accumulation_order_is_operand_order(self):
+        # Byte-identity across index backends hinges on this: for a tied
+        # id the heap pops operands in list order, so the alpha sum is
+        # the exact left-to-right float sum — not merely approximately
+        # equal. Weights are chosen so the sum rounds differently under
+        # reassociation.
+        lists = [
+            (0.1, [(0, 0.3)]),
+            (0.2, [(0, 0.7)]),
+            (0.3, [(0, 0.9)]),
+        ]
+        expected = 0.0
+        for weight, postings in lists:
+            expected += weight * postings[0][1]
+        [(string_id, alpha)] = merge_weighted_postings(lists)
+        assert string_id == 0
+        assert alpha == expected  # bit-exact, not approx

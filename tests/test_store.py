@@ -1,0 +1,670 @@
+"""Out-of-core index store: unit and parity tests (DESIGN.md §6i).
+
+Three layers:
+
+* store-level unit tests — build/open round-trips, header validation,
+  crash-safe builds, rank-limited posting cuts, pickling by path,
+  bounded caches;
+* MemoryStore ↔ SqliteStore equivalence — the reference image and the
+  SQLite file must answer every store query identically;
+* golden-grid parity — the store-backed drivers must reproduce the
+  committed ``tests/data/golden_driver_outputs.json`` byte-for-byte
+  across every algorithm variant × k, like every other driver.
+"""
+
+import json
+import os
+import pickle
+import random
+import sqlite3
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.core.engine import JoinEngine
+from repro.core.errors import (
+    CheckpointCorruptError,
+    CheckpointMismatchError,
+    ConfigurationError,
+)
+from repro.core.join import similarity_join
+from repro.core.merge import merge_run
+from repro.core.search import SimilaritySearcher
+from repro.core.topk import top_k_join
+from repro.store import (
+    MemoryStore,
+    SqliteStore,
+    StoreCollection,
+    StoreContext,
+    StoreIndexSource,
+    StoreStringCache,
+    build_sqlite_store,
+    collection_digest,
+    parallel_store_join,
+    store_similarity_join,
+)
+from repro.uncertain.parser import format_uncertain
+
+from tests import equivalence_spec as spec
+from tests.helpers import random_collection
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_driver_outputs.json").read_text()
+)
+GRID = list(spec.config_grid())
+KEYS = [key for key, _ in GRID]
+
+K, Q = 2, 2
+
+
+def canonical(strings):
+    return [format_uncertain(s, precision=17) for s in strings]
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return random_collection(random.Random(977), 60, length_range=(3, 12))
+
+
+@pytest.fixture(scope="module")
+def memory_store(collection):
+    return MemoryStore(collection, k=K, q=Q)
+
+
+@pytest.fixture(scope="module")
+def sqlite_store(collection, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "index.db"
+    build_sqlite_store(iter(collection), path, k=K, q=Q)
+    return SqliteStore(path)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, memory_store, sqlite_store):
+    return memory_store if request.param == "memory" else sqlite_store
+
+
+class TestStoreBuild:
+    def test_meta_matches_reference(self, memory_store, sqlite_store):
+        assert sqlite_store.meta == memory_store.meta
+
+    def test_digest_is_canonical_sha(self, collection, sqlite_store):
+        assert sqlite_store.meta.digest == collection_digest(collection)
+
+    def test_counts(self, collection, store):
+        assert len(store) == len(collection)
+        assert store.meta.count == len(collection)
+        assert store.meta.entry_count > 0
+
+    def test_empty_collection(self, tmp_path):
+        path = tmp_path / "empty.db"
+        meta = build_sqlite_store(iter(()), path, k=1, q=2)
+        assert (meta.count, meta.entry_count) == (0, 0)
+        store = SqliteStore(path)
+        assert len(store) == 0
+        assert list(store.ids_in_visit_order()) == []
+        outcome = store_similarity_join(store, JoinConfig(k=1, tau=0.1, q=2))
+        assert outcome.pairs == []
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(ValueError, match="k must be non-negative"):
+            build_sqlite_store(iter(()), tmp_path / "x.db", k=-1, q=2)
+        with pytest.raises(ValueError, match="q must be positive"):
+            build_sqlite_store(iter(()), tmp_path / "x.db", k=1, q=0)
+
+    def test_crash_mid_build_leaves_no_store(self, collection, tmp_path):
+        path = tmp_path / "index.db"
+
+        def exploding():
+            yield from collection[:5]
+            raise RuntimeError("ingest died")
+
+        with pytest.raises(RuntimeError, match="ingest died"):
+            build_sqlite_store(exploding(), path, k=K, q=Q)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_rebuild_replaces_atomically(self, collection, tmp_path):
+        path = tmp_path / "index.db"
+        build_sqlite_store(iter(collection[:10]), path, k=K, q=Q)
+        first = SqliteStore(path).meta
+        build_sqlite_store(iter(collection), path, k=K, q=Q)
+        second = SqliteStore(path).meta
+        assert first.count == 10 and second.count == len(collection)
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestStoreOpen:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SqliteStore(tmp_path / "absent.db")
+
+    def test_not_a_database(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"not a sqlite file, not even close" * 40)
+        with pytest.raises(CheckpointCorruptError):
+            SqliteStore(path)
+
+    def test_database_without_store_header(self, tmp_path):
+        path = tmp_path / "other.db"
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE t (x INTEGER)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(CheckpointCorruptError):
+            SqliteStore(path)
+
+    @pytest.mark.parametrize("key,value", [("magic", "nope"), ("format", "999")])
+    def test_bad_header_field(self, collection, tmp_path, key, value):
+        path = tmp_path / "index.db"
+        build_sqlite_store(iter(collection[:5]), path, k=K, q=Q)
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "UPDATE meta SET value = ? WHERE key = ?", (value, key)
+        )
+        connection.commit()
+        connection.close()
+        with pytest.raises(CheckpointCorruptError):
+            SqliteStore(path)
+
+    def test_cache_size_validated(self, collection, tmp_path):
+        path = tmp_path / "index.db"
+        build_sqlite_store(iter(collection[:5]), path, k=K, q=Q)
+        with pytest.raises(ValueError, match="cache_size"):
+            SqliteStore(path, cache_size=0)
+
+
+class TestStoreCompatibility:
+    def test_qgram_mismatch_rejected(self, store):
+        with pytest.raises(CheckpointMismatchError, match="rebuild"):
+            store.meta.check_compatible(JoinConfig(k=K + 1, tau=0.1, q=Q))
+
+    def test_matching_config_accepted(self, store):
+        store.meta.check_compatible(JoinConfig(k=K, tau=0.1, q=Q))
+
+    def test_non_qgram_config_ignores_kq(self, store):
+        config = JoinConfig(k=K + 1, tau=0.1, q=Q + 1, filters=("frequency", "cdf"))
+        assert not config.uses_qgram
+        store.meta.check_compatible(config)
+
+
+class TestStoreEquivalence:
+    """MemoryStore and SqliteStore must answer identically."""
+
+    def test_visit_order(self, memory_store, sqlite_store):
+        assert list(sqlite_store.ids_in_visit_order()) == list(
+            memory_store.ids_in_visit_order()
+        )
+        assert list(sqlite_store.lengths_in_visit_order()) == list(
+            memory_store.lengths_in_visit_order()
+        )
+
+    def test_string_hydration_is_float_exact(
+        self, collection, memory_store, sqlite_store
+    ):
+        n = len(collection)
+        assert canonical(sqlite_store.strings_at_ranks(0, n)) == canonical(
+            memory_store.strings_at_ranks(0, n)
+        )
+        ids = list(range(0, n, 3))
+        got = sqlite_store.strings_by_ids(ids)
+        assert canonical([got[i] for i in ids]) == canonical(
+            [collection[i] for i in ids]
+        )
+
+    def test_posting_lists_at_every_rank_limit(
+        self, memory_store, sqlite_store
+    ):
+        lengths = sorted(set(memory_store.lengths_in_visit_order()))
+        count = len(memory_store)
+        checked = 0
+        for length in lengths:
+            words = sorted(
+                {
+                    word
+                    for (l, _), lists in memory_store._lists.items()
+                    if l == length
+                    for word in lists
+                }
+            )
+            for segment_index in range(4):
+                for limit in (0, 1, count // 2, count):
+                    expected = memory_store.posting_lists(
+                        length, segment_index, words, limit
+                    )
+                    got = sqlite_store.posting_lists(
+                        length, segment_index, words, limit
+                    )
+                    assert {w: list(p) for w, p in got.items()} == {
+                        w: list(p) for w, p in expected.items()
+                    }
+                    assert sqlite_store.has_segment(
+                        length, segment_index, limit
+                    ) == memory_store.has_segment(length, segment_index, limit)
+                    checked += 1
+        assert checked > 0
+
+    def test_pickle_round_trip_carries_path_only(self, sqlite_store):
+        payload = pickle.dumps(sqlite_store)
+        assert len(payload) < 2000  # no postings, no strings
+        clone = pickle.loads(payload)
+        assert clone.meta == sqlite_store.meta
+        assert list(clone.ids_in_visit_order()) == list(
+            sqlite_store.ids_in_visit_order()
+        )
+
+
+class TestStoreStringCache:
+    def test_bounded_with_block_readahead(self, collection, sqlite_store):
+        cache = StoreStringCache(sqlite_store, capacity=8, read_block=4)
+        ranks = list(sqlite_store.ids_in_visit_order())
+        for string_id in ranks:  # sequential rank-order scan
+            assert format_uncertain(
+                cache[string_id], precision=17
+            ) == format_uncertain(collection[string_id], precision=17)
+        # One fetch per block, never one per string.
+        assert cache.fetches == (len(ranks) + 3) // 4
+        assert len(cache._entries) <= 8
+
+    def test_prefetch_batches_one_read(self, sqlite_store):
+        cache = StoreStringCache(sqlite_store, capacity=64)
+        ids = [0, 7, 13, 22]
+        cache.prefetch(ids)
+        assert cache.fetches == 1
+        for string_id in ids:
+            cache[string_id]
+        assert cache.fetches == 1  # all hits
+        cache.prefetch(ids)
+        assert cache.fetches == 1  # nothing missing
+
+    def test_take_bypasses_cache(self, collection, sqlite_store):
+        cache = StoreStringCache(sqlite_store, capacity=2)
+        got = cache.take([5, 1, 9])
+        assert canonical(got) == canonical(
+            [collection[5], collection[1], collection[9]]
+        )
+        assert len(cache._entries) == 0
+
+
+class TestStoreContext:
+    def test_features_bounded_and_rebuildable(self, collection):
+        context = StoreContext(capacity=4)
+        features = [
+            context.features(i, collection[i]) for i in range(10)
+        ]
+        assert len(context._features) == 4
+        rebuilt = context.features(0, collection[0])
+        assert rebuilt is not features[0]  # evicted, rebuilt fresh
+        assert rebuilt.length == features[0].length
+
+    def test_negative_ids_stay_fresh(self, collection):
+        context = StoreContext(capacity=4)
+        assert context.features(-1, collection[0]) is not context.features(
+            -1, collection[0]
+        )
+        assert len(context._features) == 0
+
+
+class TestStoreIndexSource:
+    def test_visit_order_enforced(self, store):
+        config = JoinConfig(k=K, tau=0.1, q=Q)
+        source = StoreIndexSource(config, store)
+        ids = list(store.ids_in_visit_order())
+        with pytest.raises(ConfigurationError, match="visit order"):
+            source.register(ids[1], 5)
+
+    def test_engine_rejects_store_plus_index(self, store):
+        from repro.index.inverted import SegmentInvertedIndex
+
+        config = JoinConfig(k=K, tau=0.1, q=Q)
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            JoinEngine(
+                config, index=SegmentInvertedIndex(k=K, q=Q), store=store
+            )
+
+    def test_engine_rejects_orphan_store_cache(self, store):
+        config = JoinConfig(k=K, tau=0.1, q=Q)
+        cache = StoreStringCache(store)
+        with pytest.raises(ConfigurationError, match="store_cache"):
+            JoinEngine(config, store_cache=cache)
+
+
+class TestDriverParity:
+    """Store-backed drivers vs the in-memory reference, same collection."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, collection):
+        return similarity_join(collection, JoinConfig(k=K, tau=0.15, q=Q))
+
+    def test_serial_join(self, collection, store, reference):
+        outcome = store_similarity_join(store, JoinConfig(k=K, tau=0.15, q=Q))
+        assert outcome.pairs == reference.pairs
+
+    def test_serial_join_tiny_cache(self, collection, sqlite_store):
+        small = SqliteStore(sqlite_store.path, cache_size=4)
+        config = JoinConfig(k=K, tau=0.15, q=Q)
+        assert (
+            store_similarity_join(small, config).pairs
+            == similarity_join(collection, config).pairs
+        )
+
+    def test_non_qgram_filter_stack(self, collection, store):
+        config = JoinConfig(k=K, tau=0.15, q=Q, filters=("frequency", "cdf"))
+        assert (
+            store_similarity_join(store, config).pairs
+            == similarity_join(collection, config).pairs
+        )
+
+    def test_parallel_join(self, collection, store, reference):
+        config = JoinConfig(k=K, tau=0.15, q=Q, workers=3)
+        outcome = parallel_store_join(
+            store, config, use_processes=False, min_parallel=0
+        )
+        assert outcome.pairs == reference.pairs
+
+    def test_checkpoint_and_resume(self, collection, sqlite_store, tmp_path, reference):
+        config = JoinConfig(k=K, tau=0.15, q=Q, workers=2)
+        run_dir = str(tmp_path / "run")
+        first = parallel_store_join(
+            sqlite_store, config, use_processes=False,
+            min_parallel=0, run_dir=run_dir,
+        )
+        resumed = parallel_store_join(
+            sqlite_store, config, use_processes=False,
+            min_parallel=0, run_dir=run_dir,
+        )
+        assert first.pairs == reference.pairs
+        assert resumed.pairs == reference.pairs
+
+    def test_sharded_join_merges_to_reference(
+        self, collection, sqlite_store, tmp_path, reference
+    ):
+        run_dir = str(tmp_path / "sharded")
+        for shard in ("0/2", "1/2"):
+            parallel_store_join(
+                sqlite_store,
+                JoinConfig(
+                    k=K, tau=0.15, q=Q, workers=2,
+                    shard=shard, checkpoint_dir=run_dir,
+                ),
+                use_processes=False,
+                min_parallel=0,
+            )
+        assert merge_run(run_dir).pairs == reference.pairs
+
+    def test_search(self, collection, store):
+        config = JoinConfig(k=K, tau=0.15, q=Q)
+        reference = SimilaritySearcher(collection, config)
+        searcher = SimilaritySearcher.from_store(store, config)
+        for query in collection[:6]:
+            assert (
+                searcher.search(query).matches
+                == reference.search(query).matches
+            )
+            # Per-request τ override flows through identically.
+            assert (
+                searcher.search(query, tau=0.4).matches
+                == reference.search(query, tau=0.4).matches
+            )
+
+    def test_topk(self, collection, store):
+        reference = top_k_join(collection, K, 12, q=Q)
+        outcome = top_k_join(None, K, 12, q=Q, store=store)
+        assert outcome.pairs == reference.pairs
+
+    def test_topk_needs_exactly_one_input(self, collection, store):
+        with pytest.raises(ValueError, match="exactly one"):
+            top_k_join(collection, K, 3, q=Q, store=store)
+        with pytest.raises(ValueError, match="exactly one"):
+            top_k_join(None, K, 3, q=Q)
+
+    def test_store_collection_pickles_by_path(self, sqlite_store):
+        facade = StoreCollection(sqlite_store)
+        _ = facade[0]  # warm the cache
+        clone = pickle.loads(pickle.dumps(facade))
+        assert len(clone) == len(facade)
+        assert format_uncertain(clone[3], precision=17) == format_uncertain(
+            facade[3], precision=17
+        )
+
+
+@pytest.fixture(scope="module")
+def golden_stores(tmp_path_factory):
+    """One SQLite store per k over the equivalence-spec collection."""
+    root = tmp_path_factory.mktemp("golden-stores")
+    stores = {}
+    for k in spec.KS:
+        path = root / f"self-k{k}.db"
+        build_sqlite_store(iter(spec.self_collection()), path, k=k, q=spec.Q)
+        stores[k] = SqliteStore(path)
+    return stores
+
+
+@pytest.fixture(scope="module")
+def golden_search_stores(tmp_path_factory):
+    root = tmp_path_factory.mktemp("golden-search-stores")
+    stores = {}
+    for k in spec.KS:
+        path = root / f"search-k{k}.db"
+        build_sqlite_store(
+            iter(spec.search_collection()), path, k=k, q=spec.Q
+        )
+        stores[k] = SqliteStore(path)
+    return stores
+
+
+@pytest.mark.parametrize("key,config", GRID, ids=KEYS)
+class TestGoldenStoreEquivalence:
+    """The store-backed drivers against the committed seed fixture."""
+
+    def test_store_join_serial(self, key, config, golden_stores):
+        outcome = store_similarity_join(golden_stores[config.k], config)
+        assert spec.encode_pairs(outcome.pairs) == GOLDEN[key]["join"]
+
+    def test_store_join_banded_workers_4(self, key, config, golden_stores):
+        outcome = parallel_store_join(
+            golden_stores[config.k],
+            replace(config, workers=4),
+            use_processes=False,
+            min_parallel=0,
+        )
+        assert spec.encode_pairs(outcome.pairs) == GOLDEN[key]["join"]
+
+    def test_store_search(self, key, config, golden_search_stores):
+        searcher = SimilaritySearcher.from_store(
+            golden_search_stores[config.k], config
+        )
+        got = [
+            spec.encode_matches(searcher.search(query).matches)
+            for query in spec.search_queries()
+        ]
+        assert got == GOLDEN[key]["search"]
+
+
+class TestCliStore:
+    """`--store` end to end: same bytes out of the CLI as a collection."""
+
+    @pytest.fixture()
+    def cli_files(self, tmp_path, collection):
+        from repro.cli import main
+        from repro.datasets.loader import save_collection
+
+        coll_path = tmp_path / "c.txt"
+        save_collection(collection, coll_path)
+        store_path = tmp_path / "c.store"
+        assert main(
+            ["index", "build", str(coll_path), "-o", str(store_path),
+             "-k", str(K), "-q", str(Q)]
+        ) == 0
+        return str(coll_path), str(store_path)
+
+    def _run(self, capsys, argv):
+        from repro.cli import main
+
+        code = main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_index_info(self, cli_files, capsys, collection):
+        _, store_path = cli_files
+        code, out = self._run(capsys, ["index", "info", store_path])
+        assert code == 0
+        fields = dict(line.split("\t") for line in out.splitlines())
+        assert fields["strings"] == str(len(collection))
+        assert fields["k"] == str(K) and fields["q"] == str(Q)
+
+    def test_join_parity(self, cli_files, capsys):
+        coll_path, store_path = cli_files
+        base = ["-k", str(K), "--tau", "0.1", "-q", str(Q), "--probabilities"]
+        code, expected = self._run(capsys, ["join", coll_path, *base])
+        assert code == 0
+        code, got = self._run(capsys, ["join", "--store", store_path, *base])
+        assert code == 0
+        assert got == expected and expected.strip()
+
+    def test_stream_parity(self, cli_files, capsys):
+        coll_path, store_path = cli_files
+        base = ["-k", str(K), "--tau", "0.1", "-q", str(Q), "--stream"]
+        code, expected = self._run(capsys, ["join", coll_path, *base])
+        assert code == 0
+        code, got = self._run(capsys, ["join", "--store", store_path, *base])
+        assert code == 0
+        assert got == expected
+
+    def test_search_parity(self, cli_files, capsys, collection):
+        coll_path, store_path = cli_files
+        query = format_uncertain(collection[5])
+        base = ["-k", str(K), "--tau", "0.05", "-q", str(Q),
+                "--probabilities"]
+        code, expected = self._run(
+            capsys, ["search", coll_path, query, *base]
+        )
+        assert code == 0
+        code, got = self._run(
+            capsys, ["search", "--store", store_path, query, *base]
+        )
+        assert code == 0
+        assert got == expected
+
+    def test_topk_parity(self, cli_files, capsys):
+        coll_path, store_path = cli_files
+        base = ["-k", str(K), "--count", "5", "-q", str(Q)]
+        code, expected = self._run(capsys, ["topk", coll_path, *base])
+        assert code == 0
+        code, got = self._run(capsys, ["topk", "--store", store_path, *base])
+        assert code == 0
+        assert got == expected and expected.strip()
+
+    def test_requires_exactly_one_input(self, cli_files, capsys):
+        from repro.cli import main
+
+        coll_path, store_path = cli_files
+        base = ["-k", str(K), "--tau", "0.1", "-q", str(Q)]
+        assert main(["join", *base]) == 2
+        assert main(["join", coll_path, "--store", store_path, *base]) == 2
+        capsys.readouterr()
+
+    def test_mismatched_store_is_typed_failure(self, cli_files, capsys):
+        from repro.cli import main
+
+        _, store_path = cli_files
+        assert main(
+            ["join", "--store", store_path, "-k", str(K + 1),
+             "--tau", "0.1", "-q", str(Q)]
+        ) == 2
+        assert "rebuild" in capsys.readouterr().err
+
+
+class TestServeStore:
+    """Store-backed serving: request parity and warm store reload."""
+
+    @pytest.fixture()
+    def serve_config(self):
+        return JoinConfig.for_algorithm(
+            "QFCT", k=K, tau=0.05, q=Q, report_probabilities=True
+        )
+
+    def test_from_store_request_parity(
+        self, tmp_path, collection, serve_config
+    ):
+        from repro.serve.service import JoinService
+
+        path = tmp_path / "serve.store"
+        build_sqlite_store(iter(collection), path, k=K, q=Q)
+        memory = JoinService(collection, serve_config)
+        stored = JoinService.from_store(str(path), serve_config)
+        for index in (0, 11, 37):
+            query = format_uncertain(collection[index])
+            assert (
+                stored.search(query)["matches"]
+                == memory.search(query)["matches"]
+            )
+            assert (
+                stored.topk(query, 4)["matches"]
+                == memory.topk(query, 4)["matches"]
+            )
+            # Non-native k: the per-request source registers from the
+            # store's length bookkeeping without hydrating anything.
+            assert (
+                stored.search(query, k=K - 1)["matches"]
+                == memory.search(query, k=K - 1)["matches"]
+            )
+
+    def test_from_store_rejects_mismatched_config(
+        self, tmp_path, collection, serve_config
+    ):
+        from repro.serve.service import JoinService
+
+        path = tmp_path / "serve.store"
+        build_sqlite_store(iter(collection), path, k=K + 1, q=Q)
+        with pytest.raises(CheckpointMismatchError, match="rebuild"):
+            JoinService.from_store(str(path), serve_config)
+
+    def test_reload_swaps_store_generations(
+        self, tmp_path, collection, serve_config
+    ):
+        from repro.serve.service import JoinService
+
+        first = tmp_path / "gen0.store"
+        build_sqlite_store(iter(collection), first, k=K, q=Q)
+        other = random_collection(random.Random(431), 30, length_range=(3, 9))
+        second = tmp_path / "gen1.store"
+        build_sqlite_store(iter(other), second, k=K, q=Q)
+
+        service = JoinService.from_store(str(first), serve_config)
+        document = service.reload(store_path=str(second))
+        assert document["reloaded"] is True
+        assert document["store"] == str(second)
+        assert document["strings"] == len(other)
+        assert service.generation == 1
+        # Same-path reload re-opens the (atomically replaced) file.
+        again = service.reload()
+        assert again["reloaded"] is True and again["store"] == str(second)
+        # Post-reload answers match a fresh in-memory service.
+        memory = JoinService(other, serve_config)
+        query = format_uncertain(other[7])
+        assert (
+            service.search(query)["matches"]
+            == memory.search(query)["matches"]
+        )
+        assert service.status_document()["store"] == str(second)
+
+    def test_failed_store_reload_keeps_generation(
+        self, tmp_path, collection, serve_config
+    ):
+        from repro.serve.service import JoinService
+
+        path = tmp_path / "serve.store"
+        build_sqlite_store(iter(collection), path, k=K, q=Q)
+        service = JoinService.from_store(str(path), serve_config)
+        document = service.reload(store_path=str(tmp_path / "missing.store"))
+        assert document["error"]["type"] == "reload_failed"
+        assert service.generation == 0
+        both = service.reload(
+            collection_path=str(tmp_path / "c.txt"),
+            store_path=str(path),
+        )
+        assert both["error"]["type"] == "reload_failed"
+        query = format_uncertain(collection[3])
+        assert service.search(query)["count"] >= 1
