@@ -1,10 +1,63 @@
-"""Shim for environments without the `wheel` package (offline installs).
+"""Packaging entry point: metadata lives in pyproject.toml; this file
+adds the **optional** native kernel extension.
 
-`pip install -e .` falls back to `setup.py develop` through this file when
-PEP 517 editable builds are unavailable; all metadata lives in
-pyproject.toml.
+``repro.filters._native._cdfdp`` is a plain-C shared library (loaded
+via ctypes, never imported, so it needs no Python headers) compiled
+from ``src/repro/filters/_native/cdfdp.c``. The build is best-effort by
+construction: any compiler failure — or no compiler at all — downgrades
+to a warning and the package installs pure-python, where
+``backend="native"`` reports itself unavailable and everything else
+works unchanged. Set ``REPRO_NATIVE_BUILD=0`` to skip the build
+attempt entirely (the CI fallback leg uses this to prove the
+no-toolchain install path).
+
+The compile flags are load-bearing: the C kernels promise bit-for-bit
+IEEE-754 parity with the pure-python reference, which only holds
+without FMA contraction or fast-math value changes.
 """
 
-from setuptools import setup
+import os
+import sys
 
-setup()
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+#: Bit-exactness contract: no fused multiply-add, no fast-math.
+NATIVE_CFLAGS = ["-O2", "-fno-fast-math", "-ffp-contract=off"]
+
+
+class OptionalBuildExt(build_ext):
+    """``build_ext`` that treats every extension as optional."""
+
+    def build_extension(self, ext):
+        if self.compiler.compiler_type == "unix":
+            ext.extra_compile_args = list(NATIVE_CFLAGS)
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # any toolchain failure → pure-python install
+            print(
+                f"WARNING: optional native extension {ext.name} failed to "
+                f"build ({exc!r}); continuing with the pure-python "
+                'kernels — backend="native" will be unavailable.',
+                file=sys.stderr,
+            )
+
+
+def _ext_modules():
+    if os.environ.get("REPRO_NATIVE_BUILD", "") == "0":
+        print(
+            "REPRO_NATIVE_BUILD=0: skipping the native kernel build",
+            file=sys.stderr,
+        )
+        return []
+    return [
+        Extension(
+            "repro.filters._native._cdfdp",
+            sources=["src/repro/filters/_native/cdfdp.c"],
+            libraries=["m"] if os.name == "posix" else [],
+            optional=True,
+        )
+    ]
+
+
+setup(ext_modules=_ext_modules(), cmdclass={"build_ext": OptionalBuildExt})

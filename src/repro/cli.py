@@ -92,10 +92,12 @@ def _add_join_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
         default="python",
-        choices=("python", "numpy"),
-        help="batch-kernel backend: 'python' (default, pure-python "
-        "reference) or 'numpy' (vectorized block kernels; requires the "
-        "optional numpy dependency; results are identical)",
+        choices=("python", "numpy", "native"),
+        help="kernel backend: 'python' (default, pure-python "
+        "reference), 'numpy' (vectorized block kernels; requires the "
+        "optional numpy dependency), or 'native' (compiled C kernels; "
+        "requires the optional extension to be built); results are "
+        "identical in every case",
     )
     parser.add_argument(
         "--stats", action="store_true", help="print pipeline statistics"
@@ -679,7 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench_args",
         nargs=argparse.REMAINDER,
         help="arguments forwarded to the benchmark runner "
-        "(-o/--output, --quick, --baseline, --check, --tolerance)",
+        "(-o/--output, --quick, --only, --baseline, --check, --tolerance)",
     )
     bench.set_defaults(func=_cmd_bench)
 

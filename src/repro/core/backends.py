@@ -1,8 +1,9 @@
-"""Execution-backend dispatch for the batch filter kernels.
+"""Execution-backend dispatch for the hot filter kernels.
 
-A backend supplies the *batched* variants of the two hot filter kernels
-— Theorem 4 CDF bounds and the Section 5 frequency bounds — used by the
-engine's batch-refine path (DESIGN.md §6f). Two backends exist:
+A backend supplies both the *scalar* and the *batched* variants of the
+two hot filter kernels — Theorem 4 CDF bounds and the Section 5
+frequency bounds — used by the engine's per-candidate refine path and
+its batch-refine path (DESIGN.md §6f/§6j). Three backends exist:
 
 ``python``
     The pinned reference: scalar kernel per candidate, exactly the
@@ -13,17 +14,28 @@ engine's batch-refine path (DESIGN.md §6f). Two backends exist:
 ``numpy``
     Vectorized block kernels (:mod:`repro.filters.batch_numpy`), bit-
     identical to the reference by construction and enforced by
-    ``tests/test_backend_parity.py``. Optional: selecting it without
-    numpy installed raises
+    ``tests/test_backend_parity.py``. Scalar calls fall back to the
+    reference kernels — vectorization only pays on blocks. Optional:
+    selecting it without numpy installed raises
     :class:`~repro.core.errors.ConfigurationError`, while merely
     importing ``repro`` never requires numpy.
 
+``native``
+    Compiled C kernels (:mod:`repro.filters._native`), bit-identical to
+    the reference by construction (same IEEE-754 operation order, same
+    libm) and enforced by ``tests/test_native_backend.py``. Fastest on
+    the scalar path too, so ``supports_batch = True`` merely batches
+    the marshalling; the engine may use either path. Optional:
+    available only when the C extension was built (and not disabled via
+    ``REPRO_NATIVE_DISABLE``); selecting it otherwise raises
+    :class:`~repro.core.errors.ConfigurationError` naming the reason.
+
 Backends are resolved from :attr:`JoinConfig.backend
 <repro.core.config.JoinConfig.backend>` by :func:`resolve_backend`.
-Because both backends produce byte-identical results, the backend name
+Because all backends produce byte-identical results, the backend name
 is *not* part of the checkpoint fingerprint
 (:mod:`repro.core.parallel`) — a run checkpointed under one backend may
-resume under the other.
+resume under another.
 """
 
 from __future__ import annotations
@@ -31,23 +43,43 @@ from __future__ import annotations
 from typing import Protocol, Sequence
 
 from repro.core.errors import ConfigurationError
-from repro.filters import batch_numpy
-from repro.filters.cdf import cdf_bounds_batch
-from repro.filters.frequency import FrequencyProfile, frequency_bounds_batch
+from repro.filters import _native, batch_numpy
+from repro.filters.cdf import cdf_bounds, cdf_bounds_batch
+from repro.filters.frequency import (
+    FrequencyProfile,
+    frequency_bounds,
+    frequency_bounds_batch,
+)
 from repro.uncertain.string import UncertainString
 
 _Bounds = tuple[tuple[float, ...], tuple[float, ...]]
 
-BACKEND_NAMES: tuple[str, ...] = ("python", "numpy")
+BACKEND_NAMES: tuple[str, ...] = ("python", "numpy", "native")
 
 
 class KernelBackend(Protocol):
-    """The batch kernel surface a backend must provide."""
+    """The kernel surface a backend must provide."""
 
     name: str
     #: Whether the engine should group candidates and call the batch
     #: kernels (False keeps the scalar per-candidate path).
     supports_batch: bool
+
+    def cdf_bounds(
+        self,
+        left: UncertainString,
+        right: UncertainString,
+        k: int,
+        left_features: object | None = None,
+        right_features: object | None = None,
+    ) -> _Bounds: ...
+
+    def frequency_bounds(
+        self,
+        left: FrequencyProfile,
+        right: FrequencyProfile,
+        k: int,
+    ) -> tuple[int, float | None]: ...
 
     def cdf_bounds_batch(
         self,
@@ -71,6 +103,28 @@ class PythonBackend:
 
     name = "python"
     supports_batch = False
+
+    def cdf_bounds(
+        self,
+        left: UncertainString,
+        right: UncertainString,
+        k: int,
+        left_features: object | None = None,
+        right_features: object | None = None,
+    ) -> _Bounds:
+        result: _Bounds = cdf_bounds(
+            left, right, k, left_features, right_features
+        )
+        return result
+
+    def frequency_bounds(
+        self,
+        left: FrequencyProfile,
+        right: FrequencyProfile,
+        k: int,
+    ) -> tuple[int, float | None]:
+        result: tuple[int, float | None] = frequency_bounds(left, right, k)
+        return result
 
     def cdf_bounds_batch(
         self,
@@ -97,8 +151,13 @@ class PythonBackend:
         return result
 
 
-class NumpyBackend:
-    """Vectorized backend over ``(num_candidates, ...)`` arrays."""
+class NumpyBackend(PythonBackend):
+    """Vectorized backend over ``(num_candidates, ...)`` arrays.
+
+    Scalar calls inherit the reference kernels — per-ufunc dispatch
+    overhead makes vectorizing single pairs a loss, and the floats are
+    identical either way.
+    """
 
     name = "numpy"
     supports_batch = True
@@ -128,31 +187,133 @@ class NumpyBackend:
         return result
 
 
+class NativeBackend:
+    """Compiled-C backend: fastest scalar kernels, batch = scalar loop."""
+
+    name = "native"
+    supports_batch = True
+
+    def cdf_bounds(
+        self,
+        left: UncertainString,
+        right: UncertainString,
+        k: int,
+        left_features: object | None = None,
+        right_features: object | None = None,
+    ) -> _Bounds:
+        result: _Bounds = _native.cdf_bounds_native(
+            left, right, k, left_features, right_features
+        )
+        return result
+
+    def frequency_bounds(
+        self,
+        left: FrequencyProfile,
+        right: FrequencyProfile,
+        k: int,
+    ) -> tuple[int, float | None]:
+        result: tuple[int, float | None] = _native.frequency_bounds_native(
+            left, right, k
+        )
+        return result
+
+    def cdf_bounds_batch(
+        self,
+        left: UncertainString,
+        rights: Sequence[UncertainString],
+        k: int,
+        left_features: object | None = None,
+        right_features: Sequence[object | None] | None = None,
+    ) -> list[_Bounds]:
+        result: list[_Bounds] = _native.cdf_bounds_batch_native(
+            left, rights, k, left_features, right_features
+        )
+        return result
+
+    def frequency_bounds_batch(
+        self,
+        left: FrequencyProfile,
+        rights: Sequence[FrequencyProfile],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        result: list[tuple[int, float]] = (
+            _native.frequency_bounds_batch_native(left, rights, k)
+        )
+        return result
+
+
 def numpy_available() -> bool:
     """Whether the optional numpy backend can actually run here."""
     available: bool = batch_numpy.numpy_available()
     return available
 
 
+def native_available() -> bool:
+    """Whether the optional compiled backend can actually run here."""
+    available: bool = _native.native_available()
+    return available
+
+
+def backend_availability() -> dict[str, str | None]:
+    """Per-backend availability: name → ``None`` (usable) or the reason
+    it is not.
+
+    The source of truth for error messages, the CLI, and the benchmark
+    suite document (so a bench JSON's ``skipped_kernels`` is
+    attributable without rerunning anything).
+    """
+    numpy_reason = (
+        None
+        if numpy_available()
+        else "numpy is not installed (pip install numpy)"
+    )
+    native_reason: str | None = _native.native_unavailable_reason()
+    return {
+        "python": None,
+        "numpy": numpy_reason,
+        "native": native_reason,
+    }
+
+
 def available_backends() -> tuple[str, ...]:
     """Backend names usable in this interpreter (python always is)."""
-    if numpy_available():
-        return BACKEND_NAMES
-    return ("python",)
+    availability = backend_availability()
+    return tuple(
+        name for name in BACKEND_NAMES if availability[name] is None
+    )
 
 
 def resolve_backend(name: str) -> KernelBackend:
-    """The :class:`KernelBackend` for a validated config ``backend`` name."""
+    """The :class:`KernelBackend` for a validated config ``backend`` name.
+
+    Raises :class:`~repro.core.errors.ConfigurationError` for unknown
+    names and for optional backends that cannot run in this
+    interpreter; either way the message enumerates which backends *are*
+    available here and why the missing ones are missing.
+    """
     if name == "python":
         return PythonBackend()
-    if name == "numpy":
-        if not numpy_available():
+    availability = backend_availability()
+    usable = ", ".join(
+        backend for backend in BACKEND_NAMES if availability[backend] is None
+    )
+    if name in ("numpy", "native"):
+        reason = availability[name]
+        if reason is not None:
             raise ConfigurationError(
-                "backend 'numpy' requires the optional numpy dependency, "
-                "which is not installed; use backend 'python' or install "
-                "numpy"
+                f"backend {name!r} is not available: {reason}. "
+                f"Backends available in this interpreter: {usable}."
             )
-        return NumpyBackend()
+        if name == "numpy":
+            return NumpyBackend()
+        return NativeBackend()
+    missing = "; ".join(
+        f"{backend}: {reason}"
+        for backend, reason in availability.items()
+        if reason is not None
+    )
+    detail = f" (unavailable here — {missing})" if missing else ""
     raise ConfigurationError(
-        f"unknown backend {name!r}; choose from {sorted(BACKEND_NAMES)}"
+        f"unknown backend {name!r}; choose from {sorted(BACKEND_NAMES)}. "
+        f"Backends available in this interpreter: {usable}{detail}."
     )

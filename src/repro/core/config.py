@@ -101,13 +101,15 @@ class JoinConfig:
         uses the platform default. Runtime-only — results and
         fingerprints never depend on it.
     backend:
-        Batch-kernel execution backend (:mod:`repro.core.backends`):
+        Kernel execution backend (:mod:`repro.core.backends`):
         ``"python"`` (default) keeps the pinned scalar reference path,
         ``"numpy"`` vectorizes the frequency/CDF filters over blocks of
-        candidates. Results are byte-identical either way; numpy is an
-        optional dependency whose absence is only an error when this is
-        set to ``"numpy"`` (checked at engine construction, so configs
-        stay constructible and picklable everywhere).
+        candidates, ``"native"`` runs the compiled C kernels (fastest,
+        requires the optional extension to be built). Results are
+        byte-identical in every case; the optional backends' absence is
+        only an error when one is actually selected (checked at engine
+        construction, so configs stay constructible and picklable
+        everywhere).
     """
 
     k: int
@@ -196,10 +198,10 @@ class JoinConfig:
                 f"unknown mp_start {self.mp_start!r}; "
                 "choose from ['fork', 'forkserver', 'spawn']"
             )
-        if self.backend not in ("python", "numpy"):
+        if self.backend not in ("python", "numpy", "native"):
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; "
-                "choose from ['numpy', 'python']"
+                "choose from ['native', 'numpy', 'python']"
             )
 
     @classmethod

@@ -46,6 +46,7 @@ class StringFeatures:
         "_profile",
         "_support",
         "_sorted_support",
+        "_native_pack",
     )
 
     def __init__(self, string: UncertainString) -> None:
@@ -69,6 +70,11 @@ class StringFeatures:
         self._profile: FrequencyProfile | None = None
         self._support: frozenset[str] | None = None
         self._sorted_support: tuple[str, ...] | None = None
+        #: Opaque cache for the optional native backend
+        #: (:mod:`repro.filters._native`): the string's C-marshalled
+        #: agreement arrays, built lazily on first native kernel use.
+        #: Always ``None`` on the pure-python and numpy paths.
+        self._native_pack: object | None = None
 
     @property
     def profile(self) -> FrequencyProfile | None:

@@ -22,8 +22,7 @@ from repro.core.context import CollectionContext, StringFeatures
 from repro.core.deadline import check_active
 from repro.core.stats import JoinStatistics
 from repro.filters.base import FilterDecision, FilterVerdict, PipelineStage
-from repro.filters.cdf import CdfBoundFilter
-from repro.filters.frequency import FrequencyDistanceFilter, FrequencyProfile
+from repro.filters.frequency import FrequencyProfile
 from repro.uncertain.string import UncertainString
 from repro.verify.naive import naive_verify, naive_verify_threshold
 from repro.verify.trie import Trie, build_trie
@@ -118,7 +117,6 @@ class FrequencyStage:
         backend: KernelBackend | None = None,
     ) -> None:
         self._k = k
-        self._filter = FrequencyDistanceFilter(k)
         self._profiles = profiles
         self._backend = backend if backend is not None else PythonBackend()
 
@@ -129,12 +127,31 @@ class FrequencyStage:
         candidate: UncertainString,
         tau: float,
     ) -> FilterDecision:
+        """One decision; dispatches the pair through the backend's
+        scalar kernel (``python`` reproduces
+        :meth:`FrequencyDistanceFilter.decide` exactly — same bounds,
+        same short-circuit, same decision fields — and the optional
+        backends are bit-identical to it by contract)."""
         store = self._profiles
-        return self._filter.decide(
+        lower_fd, upper = self._backend.frequency_bounds(
             store.profile(context.features, context.query),
             store.profile(store.features_for(candidate_id, candidate), candidate),
-            tau,
+            self._k,
         )
+        if lower_fd > self._k:
+            return FilterDecision(
+                FilterVerdict.REJECT,
+                upper=0.0,
+                reason=f"Lemma 6 frequency distance >= {lower_fd} > k",
+            )
+        assert upper is not None
+        if upper <= tau:
+            return FilterDecision(
+                FilterVerdict.REJECT,
+                upper=upper,
+                reason=f"Theorem 3 upper bound {upper:.6g} <= tau",
+            )
+        return FilterDecision(FilterVerdict.UNDECIDED, upper=upper)
 
     def apply_batch(
         self,
@@ -194,7 +211,6 @@ class CdfStage:
         backend: KernelBackend | None = None,
     ) -> None:
         self._k = k
-        self._filter = CdfBoundFilter(k)
         self._profiles = profiles
         self._backend = backend if backend is not None else PythonBackend()
 
@@ -205,12 +221,34 @@ class CdfStage:
         candidate: UncertainString,
         tau: float,
     ) -> FilterDecision:
-        return self._filter.decide(
+        """One decision; dispatches the pair through the backend's
+        scalar kernel (``python`` reproduces
+        :meth:`CdfBoundFilter.decide` exactly; the optional backends
+        are bit-identical to it by contract)."""
+        k = self._k
+        lower, upper = self._backend.cdf_bounds(
             context.query,
             candidate,
-            tau,
+            k,
             left_features=context.features,
             right_features=self._profiles.features_for(candidate_id, candidate),
+        )
+        if lower[k] > tau:
+            return FilterDecision(
+                FilterVerdict.ACCEPT,
+                lower=lower[k],
+                upper=upper[k],
+                reason=f"CDF lower bound {lower[k]:.6g} > tau",
+            )
+        if upper[k] <= tau:
+            return FilterDecision(
+                FilterVerdict.REJECT,
+                lower=lower[k],
+                upper=upper[k],
+                reason=f"CDF upper bound {upper[k]:.6g} <= tau",
+            )
+        return FilterDecision(
+            FilterVerdict.UNDECIDED, lower=lower[k], upper=upper[k]
         )
 
     def apply_batch(

@@ -129,7 +129,14 @@ class FrequencyProfile:
     of Section 5.
     """
 
-    __slots__ = ("length", "_by_char", "_chars", "_sorted_chars", "_plane_cache")
+    __slots__ = (
+        "length",
+        "_by_char",
+        "_chars",
+        "_sorted_chars",
+        "_plane_cache",
+        "_native_pack",
+    )
 
     _EMPTY = CharCountDistribution(certain=0, pmf=(1.0,))
 
@@ -157,6 +164,10 @@ class FrequencyProfile:
         # arrays, built lazily on first batched use. Always None on the
         # pure-python paths.
         self._plane_cache: object | None = None
+        # Opaque per-profile scratch for the optional native backend
+        # (repro.filters._native): the C-marshalled S1/S2/S3 planes,
+        # built lazily on first native use. Always None otherwise.
+        self._native_pack: object | None = None
 
     def chars(self) -> frozenset[str]:
         """Characters with positive occurrence probability.
@@ -308,6 +319,35 @@ def chebyshev_upper_bound(
     if b_squared <= 0.0:
         return 0.0
     return b_squared / (b_squared + (a - k) ** 2)
+
+
+def frequency_bounds(
+    left: FrequencyProfile,
+    right: FrequencyProfile,
+    k: int,
+) -> tuple[int, float | None]:
+    """``(Lemma 6 lower bound, Theorem 3 upper bound)`` for one pair.
+
+    The scalar reference entry point shared by the kernel backends
+    (:mod:`repro.core.backends`): one merged-support walk feeds Lemma 6
+    and both expectation sides, exactly like
+    :meth:`FrequencyDistanceFilter.decide` — including its
+    short-circuit: on a Lemma 6 reject (``lower > k``) the Theorem 3
+    bound is never computed and ``None`` is returned in its place.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    support = merged_support(left, right)
+    lower_fd = fd_lower_bound(left, right, support)
+    if lower_fd > k:
+        return lower_fd, None
+    upper = chebyshev_upper_bound(
+        left,
+        right,
+        k,
+        expectations=expected_positive_negative(left, right, support),
+    )
+    return lower_fd, upper
 
 
 def frequency_bounds_batch(

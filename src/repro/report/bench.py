@@ -59,10 +59,12 @@ BenchFn = Callable[[], Any]
 class KernelCase:
     """One micro-benchmark: ``setup()`` → (callable, logical ops per call).
 
-    ``requires`` names an optional dependency (currently only
-    ``"numpy"``); when it is unavailable the runner records the case
+    ``requires`` names an optional backend dependency (``"numpy"`` or
+    ``"native"``); when it is unavailable the runner records the case
     under ``skipped_kernels`` instead of failing, and the regression
-    gate tolerates its absence.
+    gate tolerates its absence. The suite document's ``backends``
+    section records *why* each optional backend is or is not usable, so
+    a skip is attributable from the JSON alone.
     """
 
     name: str
@@ -77,6 +79,10 @@ def _requirement_available(requirement: str | None) -> bool:
         from repro.filters.batch_numpy import numpy_available
 
         return numpy_available()
+    if requirement == "native":
+        from repro.filters._native import native_available
+
+        return native_available()
     return False
 
 
@@ -231,6 +237,115 @@ def _setup_frequency_batch_numpy() -> tuple[BenchFn, int]:
     return run, len(block)
 
 
+def _setup_cdf_filter_native() -> tuple[BenchFn, int]:
+    """Compiled CDF bounds over the ``cdf_filter`` pair sample.
+
+    Features are prebuilt so the marshalled packs are cached, exactly
+    as the engine holds them on :class:`StringFeatures` across probes.
+    """
+    from repro.core.context import StringFeatures
+    from repro.filters._native import cdf_bounds_native
+
+    pairs = _length_compatible_pairs(_dblp(60), k=2, count=40)
+    features = {id(s): StringFeatures(s) for pair in pairs for s in pair}
+
+    def run():
+        for left, right in pairs:
+            cdf_bounds_native(
+                left, right, 2, features[id(left)], features[id(right)]
+            )
+
+    return run, len(pairs)
+
+
+def _setup_cdf_dp_uncertain_native() -> tuple[BenchFn, int]:
+    """Compiled CDF DP on the ``cdf_dp_uncertain`` pair sample."""
+    from repro.core.context import StringFeatures
+    from repro.filters._native import cdf_bounds_native
+
+    uncertain = [s for s in _dblp(120) if not s.is_certain]
+    pairs = _length_compatible_pairs(uncertain, k=2, count=20)
+    features = {id(s): StringFeatures(s) for pair in pairs for s in pair}
+
+    def run():
+        for left, right in pairs:
+            cdf_bounds_native(
+                left, right, 2, features[id(left)], features[id(right)]
+            )
+
+    return run, len(pairs)
+
+
+def _setup_frequency_filter_native() -> tuple[BenchFn, int]:
+    """Compiled Lemma 6 + Theorem 3 over prebuilt profiles."""
+    from repro.filters._native import frequency_bounds_native
+    from repro.filters.frequency import FrequencyProfile
+
+    collection = _dblp(60)
+    profiles = [FrequencyProfile(s) for s in collection]
+    pairs = [
+        (profiles[i], profiles[j])
+        for i, left in enumerate(collection)
+        for j in range(i + 1, len(collection))
+        if abs(len(left) - len(collection[j])) <= 2
+    ][:60]
+
+    def run():
+        for left, right in pairs:
+            frequency_bounds_native(left, right, 2)
+
+    return run, len(pairs)
+
+
+def _setup_banded_edit_k2_native() -> tuple[BenchFn, int]:
+    """Compiled banded edit distance on the ``banded_edit_k2`` words."""
+    from repro.filters._native import edit_banded_native
+
+    rng = random.Random(0)
+    words = [
+        "".join(rng.choice("abcdefgh") for _ in range(40)) for _ in range(20)
+    ]
+    pairs = [(a, b) for a in words[:10] for b in words[10:]]
+
+    def run():
+        for a, b in pairs:
+            edit_banded_native(a, b, 2)
+
+    return run, len(pairs)
+
+
+def _setup_cdf_batch_native() -> tuple[BenchFn, int]:
+    """Compiled block CDF kernel (native backend)."""
+    from repro.core.context import StringFeatures
+    from repro.filters._native import cdf_bounds_batch_native
+
+    probe, block = _batch_workload()
+    probe_features = StringFeatures(probe)
+    block_features = [StringFeatures(s) for s in block]
+
+    def run():
+        cdf_bounds_batch_native(
+            probe, block, 2, probe_features, block_features
+        )
+
+    return run, len(block)
+
+
+def _setup_frequency_batch_native() -> tuple[BenchFn, int]:
+    """Compiled block frequency kernel (native backend)."""
+    from repro.filters._native import frequency_bounds_batch_native
+    from repro.filters.frequency import FrequencyProfile
+
+    probe, block = _batch_workload()
+    left = FrequencyProfile(probe)
+    rights = [FrequencyProfile(s) for s in block]
+
+    def run():
+        frequency_bounds_batch_native(left, rights, 2)
+
+    return run, len(block)
+
+
 def _setup_profile_build() -> tuple[BenchFn, int]:
     from repro.filters.frequency import FrequencyProfile
 
@@ -271,24 +386,64 @@ KERNELS: tuple[KernelCase, ...] = (
     KernelCase(
         "frequency_batch_numpy", _setup_frequency_batch_numpy, requires="numpy"
     ),
+    KernelCase(
+        "cdf_filter_native", _setup_cdf_filter_native, requires="native"
+    ),
+    KernelCase(
+        "cdf_dp_uncertain_native",
+        _setup_cdf_dp_uncertain_native,
+        requires="native",
+    ),
+    KernelCase(
+        "frequency_filter_native",
+        _setup_frequency_filter_native,
+        requires="native",
+    ),
+    KernelCase(
+        "banded_edit_k2_native",
+        _setup_banded_edit_k2_native,
+        requires="native",
+    ),
+    KernelCase(
+        "cdf_batch_native", _setup_cdf_batch_native, requires="native"
+    ),
+    KernelCase(
+        "frequency_batch_native",
+        _setup_frequency_batch_native,
+        requires="native",
+    ),
 )
 
-#: batch-kernel pairs whose ratio becomes ``backend_speedup[<filter>]``.
+#: reference/accelerated kernel pairs whose ns/op ratio becomes
+#: ``backend_speedup["<workload>:<backend>"]``. The ``cdf*:native``
+#: entries are also ordering invariants of the regression gate: a
+#: built native backend that is *slower* than the python reference on
+#: the CDF kernels fails ``--check`` outright (no baseline needed).
 _BACKEND_PAIRS: tuple[tuple[str, str, str], ...] = (
-    ("cdf_filter", "cdf_batch_python", "cdf_batch_numpy"),
-    ("frequency_filter", "frequency_batch_python", "frequency_batch_numpy"),
+    ("cdf_filter:numpy", "cdf_batch_python", "cdf_batch_numpy"),
+    (
+        "frequency_filter:numpy",
+        "frequency_batch_python",
+        "frequency_batch_numpy",
+    ),
+    ("cdf_filter:native", "cdf_filter", "cdf_filter_native"),
+    ("cdf_dp_uncertain:native", "cdf_dp_uncertain", "cdf_dp_uncertain_native"),
+    ("frequency_filter:native", "frequency_filter", "frequency_filter_native"),
+    ("banded_edit_k2:native", "banded_edit_k2", "banded_edit_k2_native"),
+    ("cdf_batch:native", "cdf_batch_python", "cdf_batch_native"),
+    ("frequency_batch:native", "frequency_batch_python", "frequency_batch_native"),
 )
 
 
 def backend_speedups(kernels: dict) -> dict[str, float]:
-    """python-backend ns/op over numpy-backend ns/op per filter stage
-    (> 1 means the numpy backend is faster on the block workload)."""
+    """Reference ns/op over accelerated ns/op per (workload, backend)
+    pair (> 1 means the accelerated backend is faster)."""
     out: dict[str, float] = {}
-    for target, python_name, numpy_name in _BACKEND_PAIRS:
-        python_row = kernels.get(python_name)
-        numpy_row = kernels.get(numpy_name)
-        if python_row and numpy_row and numpy_row["ns_per_op"] > 0:
-            out[target] = python_row["ns_per_op"] / numpy_row["ns_per_op"]
+    for target, reference_name, accel_name in _BACKEND_PAIRS:
+        reference_row = kernels.get(reference_name)
+        accel_row = kernels.get(accel_name)
+        if reference_row and accel_row and accel_row["ns_per_op"] > 0:
+            out[target] = reference_row["ns_per_op"] / accel_row["ns_per_op"]
     return out
 
 
@@ -333,15 +488,25 @@ def measure_kernel(case: KernelCase, min_seconds: float = MIN_MEASURE_SECONDS) -
     }
 
 
-def measure_join(workers: int, size: int = JOIN_SIZE, repeats: int = 3) -> dict:
-    """End-to-end QFCT join (k=2, τ=0.1): seconds and pairs/sec.
+def measure_join(
+    workers: int,
+    size: int = JOIN_SIZE,
+    repeats: int = 3,
+    backend: str = "python",
+    algorithm: str = "QFCT",
+) -> dict:
+    """End-to-end join (k=2, τ=0.1): seconds and pairs/sec.
 
     The join runs ``repeats`` times and the **median** attempt (by
     throughput) is reported — single runs are far too noisy to gate on
     when worker processes contend for the host's cores. The CDF memo
     tables are cleared before each attempt (cold-cache joins, like the
     kernel cases) and the per-case counter delta is reported under
-    ``cdf_cache``.
+    ``cdf_cache``. Each attempt also records per-stage wall clock
+    (``stage_seconds``): total end-to-end time on the QFCT cascade is
+    dominated by trie verification, so a kernel backend's effect is
+    *measurable* in the frequency/cdf stage timers even when the total
+    sits inside run-to-run noise.
     """
     from repro.core.config import JoinConfig
     from repro.core.join import similarity_join
@@ -349,7 +514,7 @@ def measure_join(workers: int, size: int = JOIN_SIZE, repeats: int = 3) -> dict:
 
     collection = _dblp(size)
     config = JoinConfig.for_algorithm(
-        "QFCT", k=2, tau=0.1, q=3, workers=workers
+        algorithm, k=2, tau=0.1, q=3, workers=workers, backend=backend
     )
     cache_before = cdf_cache_stats()
     attempts = []
@@ -362,8 +527,14 @@ def measure_join(workers: int, size: int = JOIN_SIZE, repeats: int = 3) -> dict:
         attempts.append(
             {
                 "workers": workers,
+                "backend": backend,
+                "algorithm": algorithm,
                 "size": size,
                 "seconds": seconds,
+                "stage_seconds": {
+                    name: watch.elapsed
+                    for name, watch in outcome.stats.timers.items()
+                },
                 "result_pairs": len(outcome.pairs),
                 "eligible_pairs": eligible,
                 "pairs_per_sec": eligible / seconds if seconds > 0 else 0.0,
@@ -475,13 +646,44 @@ def measure_store(quick: bool = False) -> dict:
     }
 
 
-def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict:
-    """The full benchmark suite as a JSON-ready document."""
+def _backend_report() -> dict:
+    """Per-backend availability for the suite document.
+
+    ``available: false`` rows carry the human-readable ``reason`` from
+    :func:`repro.core.backends.backend_availability`, so a reader of
+    the JSON can attribute every ``skipped_kernels`` / ``skipped_joins``
+    entry without rerunning anything.
+    """
+    from repro.core.backends import backend_availability
+
+    return {
+        name: {"available": reason is None, "reason": reason}
+        for name, reason in backend_availability().items()
+    }
+
+
+def run_suite(
+    quick: bool = False,
+    join_workers: Sequence[int] = (1, 4),
+    only: str | None = None,
+) -> dict:
+    """The full benchmark suite as a JSON-ready document.
+
+    ``only`` restricts the run to kernel cases whose name matches the
+    fnmatch pattern (e.g. ``--only 'cdf_*'``) and skips the end-to-end
+    join/serve/store sections entirely — a subset document for local
+    iteration, never for the regression gate.
+    """
+    from fnmatch import fnmatch
+
     min_seconds = 0.1 if quick else MIN_MEASURE_SECONDS
     join_size = JOIN_SIZE // 2 if quick else JOIN_SIZE
+    backends = _backend_report()
     kernels = {}
     skipped: list[str] = []
     for case in KERNELS:
+        if only is not None and not fnmatch(case.name, only):
+            continue
         if not _requirement_available(case.requires):
             skipped.append(case.name)
             print(
@@ -494,14 +696,48 @@ def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict
             f"[bench] {case.name}: {kernels[case.name]['ns_per_op']:.0f} ns/op",
             file=sys.stderr,
         )
+    if only is not None:
+        return {
+            "schema": 1,
+            "quick": quick,
+            "only": only,
+            "backends": backends,
+            "kernels": kernels,
+            "skipped_kernels": skipped,
+            "backend_speedup": backend_speedups(kernels),
+        }
     joins = {}
-    for workers in join_workers:
-        joins[f"workers{workers}"] = measure_join(
-            workers, join_size, repeats=1 if quick else 3
+    skipped_joins: list[str] = []
+    join_cases = [(f"workers{w}", w, "python", "QFCT") for w in join_workers]
+    # Native end-to-end legs, sequential so kernel time (not pool
+    # scheduling) dominates: workers1_native mirrors workers1 on the
+    # full QFCT cascade, and the fct1/fct1_native pair contrasts the
+    # backends on the filter-bound FCT variant, where the frequency and
+    # CDF kernels see every length-eligible pair instead of only the
+    # q-gram survivors — the workload where the compiled kernels move
+    # the end-to-end number, not just the stage timers.
+    join_cases.append(("workers1_native", 1, "native", "QFCT"))
+    join_cases.append(("fct1", 1, "python", "FCT"))
+    join_cases.append(("fct1_native", 1, "native", "FCT"))
+    for join_name, workers, backend, algorithm in join_cases:
+        if backends[backend]["available"] is False:
+            skipped_joins.append(join_name)
+            print(
+                f"[bench] join {join_name}: skipped "
+                f"(requires {backend} backend)",
+                file=sys.stderr,
+            )
+            continue
+        joins[join_name] = measure_join(
+            workers,
+            join_size,
+            repeats=1 if quick else 3,
+            backend=backend,
+            algorithm=algorithm,
         )
-        row = joins[f"workers{workers}"]
+        row = joins[join_name]
         print(
-            f"[bench] join workers={workers}: {row['seconds']:.2f}s "
+            f"[bench] join {join_name}: {row['seconds']:.2f}s "
             f"({row['pairs_per_sec']:.0f} pairs/sec)",
             file=sys.stderr,
         )
@@ -533,10 +769,12 @@ def run_suite(quick: bool = False, join_workers: Sequence[int] = (1, 4)) -> dict
     return {
         "schema": 1,
         "quick": quick,
+        "backends": backends,
         "kernels": kernels,
         "skipped_kernels": skipped,
         "backend_speedup": backend_speedups(kernels),
         "join": joins,
+        "skipped_joins": skipped_joins,
         "serve": serve,
         "store": store,
     }
@@ -603,15 +841,37 @@ def check_regressions(
 
     The gate walks *both* directions: baseline entries must appear in
     the current run (unless the run recorded them under
-    ``skipped_kernels`` — a missing optional dependency), and current
-    entries must have a baseline to gate against. The gate used to
-    iterate only the baseline, so a newly added kernel silently ran
-    ungated forever; now an unbaselined measurement fails the check
-    unless ``allow_new_kernels`` is set (the escape hatch for the PR
-    that re-records the baseline).
+    ``skipped_kernels`` / ``skipped_joins`` — a missing optional
+    backend), and current entries must have a baseline to gate against.
+    The gate used to iterate only the baseline, so a newly added kernel
+    silently ran ungated forever; now an unbaselined measurement fails
+    the check unless ``allow_new_kernels`` is set (the escape hatch for
+    the PR that re-records the baseline).
+
+    One baseline-free ordering invariant rides along: when the compiled
+    backend was measured, the native CDF kernels must not be *slower*
+    than their python reference — a native build that loses to the
+    interpreter is a broken build, whatever the baseline says.
     """
     failures: list[str] = []
     skipped = set(current.get("skipped_kernels", ()))
+    skipped_joins = set(current.get("skipped_joins", ()))
+    for target, reference_name, accel_name in _BACKEND_PAIRS:
+        if not target.startswith("cdf") or not target.endswith(":native"):
+            continue
+        reference = current.get("kernels", {}).get(reference_name)
+        accel = current.get("kernels", {}).get(accel_name)
+        if (
+            reference
+            and accel
+            and accel["ns_per_op"] > reference["ns_per_op"]
+        ):
+            failures.append(
+                f"kernel {accel_name}: {accel['ns_per_op']:.0f} ns/op is "
+                f"slower than the python reference {reference_name} "
+                f"({reference['ns_per_op']:.0f} ns/op) — the native build "
+                "is not pulling its weight"
+            )
     if not allow_new_kernels:
         failures.extend(
             f"{entry}: no baseline entry (re-record the baseline or pass "
@@ -633,6 +893,8 @@ def check_regressions(
     for name, row in baseline.get("join", {}).items():
         measured = current.get("join", {}).get(name)
         if measured is None:
+            if name in skipped_joins:
+                continue
             failures.append(f"join {name}: missing from current run")
             continue
         if measured["pairs_per_sec"] * tolerance < row["pairs_per_sec"]:
@@ -723,6 +985,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="shorter measurements and a half-size join (CI smoke)",
     )
     parser.add_argument(
+        "--only",
+        default=None,
+        metavar="PATTERN",
+        help="run only kernel cases matching this fnmatch pattern (e.g. "
+        "'cdf_*') and skip the join/serve/store sections; incompatible "
+        "with --check, which needs the full suite",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         metavar="JSON",
@@ -747,8 +1017,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "baseline has no entry for (use when re-recording the baseline)",
     )
     args = parser.parse_args(argv)
+    if args.only and args.check:
+        parser.error("--only runs a subset; the --check gate needs the full suite")
 
-    document = run_suite(quick=args.quick)
+    document = run_suite(quick=args.quick, only=args.only)
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as handle:
             before = json.load(handle)

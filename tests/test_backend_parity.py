@@ -179,7 +179,7 @@ def test_backends_agree_on_statistics(algorithm):
 
 
 def test_backend_names_and_resolution():
-    assert set(BACKEND_NAMES) == {"python", "numpy"}
+    assert set(BACKEND_NAMES) == {"python", "numpy", "native"}
     assert isinstance(resolve_backend("python"), PythonBackend)
     assert not resolve_backend("python").supports_batch
     with pytest.raises(ConfigurationError):
@@ -210,7 +210,8 @@ def test_numpy_backend_unavailable_is_a_config_error(monkeypatch):
 
     monkeypatch.setattr(batch_numpy.importlib, "import_module", refuse)
     assert not batch_numpy.numpy_available()
-    assert available_backends() == ("python",)
+    assert "python" in available_backends()
+    assert "numpy" not in available_backends()
     with pytest.raises(ConfigurationError):
         resolve_backend("numpy")
     # The python path is untouched by the missing dependency.
@@ -342,5 +343,41 @@ def test_backend_speedup_pairs_ratio():
     kernels = {
         "frequency_batch_python": {"ns_per_op": 300.0},
         "frequency_batch_numpy": {"ns_per_op": 100.0},
+        "cdf_dp_uncertain": {"ns_per_op": 800.0},
+        "cdf_dp_uncertain_native": {"ns_per_op": 100.0},
     }
-    assert bench.backend_speedups(kernels) == {"frequency_filter": 3.0}
+    assert bench.backend_speedups(kernels) == {
+        "frequency_filter:numpy": 3.0,
+        "cdf_dp_uncertain:native": 8.0,
+    }
+
+
+def test_gate_fails_when_native_is_slower_than_python():
+    # Baseline-free invariant: a built native backend must not lose to
+    # the interpreter on the CDF kernels.
+    current = _doc(
+        kernels=[("cdf_dp_uncertain", 100.0), ("cdf_dp_uncertain_native", 150.0)]
+    )
+    baseline = _doc(
+        kernels=[("cdf_dp_uncertain", 100.0), ("cdf_dp_uncertain_native", 150.0)]
+    )
+    failures = bench.check_regressions(current, baseline)
+    assert any(
+        "cdf_dp_uncertain_native" in f and "slower than the python" in f
+        for f in failures
+    )
+    faster = _doc(
+        kernels=[("cdf_dp_uncertain", 100.0), ("cdf_dp_uncertain_native", 20.0)]
+    )
+    assert bench.check_regressions(faster, faster) == []
+
+
+def test_gate_tolerates_skipped_optional_joins():
+    baseline = _doc(joins=[("workers1", 1000.0), ("workers1_native", 3000.0)])
+    current = _doc(joins=[("workers1", 1000.0)])
+    current["skipped_joins"] = ["workers1_native"]
+    assert bench.check_regressions(current, baseline) == []
+    # ... but an unexplained disappearance still fails.
+    gone = _doc(joins=[("workers1", 1000.0)])
+    failures = bench.check_regressions(gone, baseline)
+    assert any("workers1_native" in f and "missing" in f for f in failures)
